@@ -1,0 +1,65 @@
+"""Benchmark fixtures: the paper's evaluation workloads.
+
+Every Fig. 10/11 experiment runs on Erdős–Rényi digraphs with
+``|E| = |V|^1.5`` (paper Sec. VI).  Sizes are scaled to a single-core
+container; the claim under test — the DSL abstraction penalty decays with
+input size — is about *ratios across sizes*, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+os.environ.setdefault(
+    "PYGB_CACHE_DIR", str(Path(__file__).resolve().parent.parent / ".pygb_cache")
+)
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.io.generators import erdos_renyi, scale_free
+from repro.jit.cppengine import compiler_available
+
+#: the |V| sweep of the Fig. 10 reproduction
+SIZES = [256, 512, 1024, 2048]
+SIZES_SMALL = [256, 1024]
+
+requires_cpp = pytest.mark.skipif(
+    not compiler_available(), reason="no C++ toolchain for the cpp engine"
+)
+
+
+def er_graph(n: int, weighted: bool = False, dtype=None, seed: int = 42) -> "gb.Matrix":
+    return erdos_renyi(n, seed=seed, weighted=weighted, dtype=dtype)
+
+
+def undirected_lower(n: int, seed: int = 42) -> "gb.Matrix":
+    """Strictly-lower-triangular half of the symmetrised ER graph (the
+    triangle-counting input L)."""
+    from repro.algorithms import lower_triangle
+
+    g = er_graph(n, seed=seed)
+    r, c, _ = g.to_coo()
+    sym = gb.Matrix(
+        (np.ones(2 * len(r)), (np.concatenate([r, c]), np.concatenate([c, r]))),
+        shape=g.shape, dtype=np.int64,
+    )
+    return lower_triangle(sym)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    """ER graphs for every benchmark size, built once per module."""
+    return {n: er_graph(n) for n in SIZES}
+
+
+@pytest.fixture(scope="module")
+def weighted_graphs():
+    return {n: er_graph(n, weighted=True, dtype=float) for n in SIZES}
+
+
+@pytest.fixture(scope="module")
+def pagerank_graphs():
+    return {n: scale_free(n, seed=42) for n in SIZES_SMALL}

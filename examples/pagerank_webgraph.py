@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""PageRank over a synthetic web graph (the paper's Fig. 7 algorithm).
+
+Generates a preferential-attachment link graph — the degree distribution
+web crawls exhibit — ranks the pages with the PyGB PageRank, checks the
+invariants (ranks sum to 1), and prints the top pages next to their
+in-degrees to show rank is *not* just degree counting.
+
+Run:  python examples/pagerank_webgraph.py [n_pages]
+"""
+
+import sys
+
+import numpy as np
+
+import repro as gb
+from repro.algorithms import pagerank
+from repro.io.generators import scale_free
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    web = scale_free(n, out_degree=5, seed=11)
+    print(f"web graph: {n} pages, {web.nvals} links")
+
+    ranks = gb.Vector(shape=(n,), dtype=float)
+    pagerank(web, ranks, damping_factor=0.85, threshold=1e-10)
+
+    r = ranks.to_numpy()
+    print(f"rank mass: {r.sum():.6f} (should be 1.0)")
+
+    # in-degree for comparison: a Plus-reduce of the transposed adjacency
+    with gb.use_engine(gb.current_backend_engine()):
+        indeg_vec = gb.Vector(shape=(n,), dtype=float)
+        indeg_vec[None] = gb.reduce(gb.PlusMonoid, gb.Matrix(web.T, dtype=float))
+    indeg = indeg_vec.to_numpy()
+
+    top = np.argsort(r)[::-1][:10]
+    print("\ntop pages by rank:")
+    print(f"{'page':>6}  {'rank':>10}  {'in-degree':>9}")
+    for p in top:
+        print(f"{p:>6}  {r[p]:>10.6f}  {int(indeg[p]):>9}")
+
+    # rank correlates with, but is not identical to, in-degree
+    by_degree = set(np.argsort(indeg)[::-1][:10].tolist())
+    overlap = len(by_degree & set(top.tolist()))
+    print(f"\noverlap of top-10 by rank vs top-10 by in-degree: {overlap}/10")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Shortest travel times on a road network via min-plus SSSP (Fig. 4a).
+
+Models a city as a weighted grid (junctions + travel-time edges), runs
+the paper's SSSP over the tropical semiring from a depot junction, and
+prints an ASCII heat map of travel times — each cell shaded by how far it
+is from the depot.
+
+Run:  python examples/sssp_road_network.py [grid_side]
+"""
+
+import sys
+
+import numpy as np
+
+import repro as gb
+from repro.algorithms import sssp_converging
+from repro.io.generators import grid_graph
+
+SHADES = " .:-=+*#%@"
+
+
+def main() -> None:
+    side = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    n = side * side
+    roads = grid_graph(side, weighted=True, seed=3, dtype=float)
+    print(f"road network: {n} junctions, {roads.nvals} directed road segments")
+
+    depot = (side // 2) * side + side // 2  # city centre
+    times = gb.Vector(([0.0], [depot]), shape=(n,), dtype=float)
+    sssp_converging(roads, times)
+
+    t = times.to_numpy(fill=np.inf).reshape(side, side)
+    finite = t[np.isfinite(t)]
+    print(
+        f"reachable junctions: {finite.size}/{n}; "
+        f"median travel time {np.median(finite):.1f}, max {finite.max():.1f}"
+    )
+
+    print("\ntravel-time heat map (depot at centre, darker = farther):")
+    tmax = finite.max()
+    for row in t:
+        line = "".join(
+            SHADES[min(int(v / tmax * (len(SHADES) - 1)), len(SHADES) - 1)]
+            if np.isfinite(v)
+            else "?"
+            for v in row
+        )
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Clustering analysis of a social graph via triangle counting (Fig. 5a).
+
+Triangles measure how often friends-of-friends are themselves friends.
+This example counts them with the paper's masked-mxm algorithm and
+derives the global clustering coefficient, comparing a clustered
+small-world graph against an Erdős–Rényi graph of the same size/density
+(which should show far less clustering).
+
+Run:  python examples/triangle_count_social.py [n_people]
+"""
+
+import sys
+
+import numpy as np
+
+import repro as gb
+from repro.algorithms import lower_triangle, triangle_count
+from repro.io.generators import erdos_renyi
+
+
+def symmetrise(directed: gb.Matrix) -> gb.Matrix:
+    r, c, _ = directed.to_coo()
+    return gb.Matrix(
+        (np.ones(2 * r.size), (np.concatenate([r, c]), np.concatenate([c, r]))),
+        shape=directed.shape, dtype=np.int64,
+    )
+
+
+def small_world(n: int, seed: int = 5) -> gb.Matrix:
+    """Ring-of-cliques: dense local friend groups with sparse bridges."""
+    rng = np.random.default_rng(seed)
+    clique = 8
+    rows, cols = [], []
+    for start in range(0, n - clique + 1, clique):
+        members = range(start, start + clique)
+        for i in members:
+            for j in members:
+                if i < j:
+                    rows.append(i)
+                    cols.append(j)
+    bridges = rng.integers(0, n, size=(n // 4, 2))
+    for a, b in bridges:
+        if a != b:
+            rows.append(min(a, b))
+            cols.append(max(a, b))
+    rows = np.array(rows)
+    cols = np.array(cols)
+    return gb.Matrix(
+        (np.ones(2 * rows.size), (np.concatenate([rows, cols]), np.concatenate([cols, rows]))),
+        shape=(n, n), dtype=np.int64,
+    )
+
+
+def wedges(adjacency: gb.Matrix) -> int:
+    """Number of 2-paths: sum over vertices of C(degree, 2)."""
+    deg_vec = gb.Vector(shape=(adjacency.nrows,), dtype=float)
+    deg_vec[None] = gb.reduce(gb.PlusMonoid, gb.Matrix(adjacency, dtype=float))
+    deg = deg_vec.to_numpy()
+    return int((deg * (deg - 1) // 2).sum())
+
+
+def analyse(name: str, adjacency: gb.Matrix) -> None:
+    L = lower_triangle(adjacency)
+    triangles = triangle_count(L)  # the paper's Fig. 5a
+    w = wedges(adjacency)
+    coeff = 3 * triangles / w if w else 0.0
+    print(
+        f"{name:>14}: {adjacency.nvals // 2:6d} friendships, "
+        f"{triangles:7d} triangles, clustering coefficient {coeff:.4f}"
+    )
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    print(f"analysing two {n}-person graphs of similar density:\n")
+    sw = small_world(n)
+    analyse("small world", sw)
+    er = symmetrise(erdos_renyi(n, nedges=sw.nvals // 2, seed=6))
+    analyse("random (ER)", er)
+    print(
+        "\nthe small-world graph should show a dramatically higher clustering"
+        " coefficient at the same edge budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

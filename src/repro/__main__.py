@@ -1,0 +1,180 @@
+"""Command-line interface: graph analytics on MatrixMarket files.
+
+::
+
+    python -m repro info graph.mtx             # shape, nnz, degree stats
+    python -m repro bfs graph.mtx --source 0   # hop distances
+    python -m repro sssp graph.mtx --source 0  # weighted distances
+    python -m repro pagerank graph.mtx --top 10
+    python -m repro triangles graph.mtx        # assumes symmetric input
+    python -m repro components graph.mtx       # assumes symmetric input
+    python -m repro engines                    # available execution engines
+
+Every command accepts ``--engine {interpreted,pyjit,cpp}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load(path: str, dtype=None):
+    from .io.fastload import mmread_fast
+
+    return mmread_fast(path, dtype=dtype)
+
+
+def cmd_info(args) -> int:
+    m = _load(args.file)
+    out_deg = np.diff(m._store.indptr)
+    in_deg = np.diff(m._store.transposed().indptr)
+    print(f"file:       {args.file}")
+    print(f"shape:      {m.nrows} x {m.ncols}")
+    print(f"edges:      {m.nvals}")
+    print(f"dtype:      {m.dtype}")
+    if m.nvals:
+        print(f"out-degree: min {out_deg.min()}  max {out_deg.max()}  mean {out_deg.mean():.2f}")
+        print(f"in-degree:  min {in_deg.min()}  max {in_deg.max()}  mean {in_deg.mean():.2f}")
+        sym = m._store.to_dict() == m._store.transposed().to_dict()
+        print(f"symmetric:  {'yes' if sym else 'no'}")
+    return 0
+
+
+def cmd_bfs(args) -> int:
+    from .algorithms import bfs_levels
+
+    m = _load(args.file)
+    levels = bfs_levels(m, args.source)
+    idx, depths = levels.to_coo()
+    print(f"reached {levels.nvals}/{m.nrows} vertices from source {args.source}")
+    if levels.nvals:
+        print(f"max depth: {int(depths.max()) - 1} hops")
+    if args.verbose:
+        for i, d in zip(idx.tolist(), depths.tolist()):
+            print(f"  {i}: {d - 1}")
+    return 0
+
+
+def cmd_sssp(args) -> int:
+    from .algorithms import sssp_distances
+
+    m = _load(args.file, dtype=float)
+    dist = sssp_distances(m, args.source)
+    idx, d = dist.to_coo()
+    print(f"reached {dist.nvals}/{m.nrows} vertices from source {args.source}")
+    if dist.nvals:
+        print(f"max distance: {d.max():.6g}")
+    if args.verbose:
+        for i, x in zip(idx.tolist(), d.tolist()):
+            print(f"  {i}: {x:.6g}")
+    return 0
+
+
+def cmd_pagerank(args) -> int:
+    from . import Vector
+    from .algorithms import pagerank
+
+    m = _load(args.file, dtype=float)
+    ranks = Vector(shape=(m.nrows,), dtype=float)
+    pagerank(m, ranks, damping_factor=args.damping, threshold=args.tol)
+    r = ranks.to_numpy()
+    order = np.argsort(r)[::-1][: args.top]
+    print(f"top {len(order)} vertices by PageRank (damping {args.damping}):")
+    for v in order:
+        print(f"  {v}: {r[v]:.6f}")
+    return 0
+
+
+def cmd_triangles(args) -> int:
+    from .algorithms import lower_triangle, triangle_count
+
+    m = _load(args.file)
+    t = triangle_count(lower_triangle(m))
+    print(f"triangles: {t}")
+    return 0
+
+
+def cmd_components(args) -> int:
+    from .algorithms import connected_components
+
+    m = _load(args.file)
+    labels = connected_components(m)
+    vals = labels.to_coo()[1]
+    uniq, counts = np.unique(vals, return_counts=True)
+    print(f"components: {uniq.size}")
+    order = np.argsort(counts)[::-1]
+    for root, size in list(zip(uniq[order], counts[order]))[:10]:
+        print(f"  component rooted at {root}: {size} vertices")
+    return 0
+
+
+def cmd_engines(args) -> int:
+    from .jit.cppengine import compiler_available, find_cxx_compiler
+
+    print("interpreted: available (no code generation)")
+    print("pyjit:       available (default)")
+    if compiler_available():
+        print(f"cpp:         available (compiler: {find_cxx_compiler()})")
+    else:
+        print("cpp:         unavailable (no g++/c++ on PATH)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--engine", choices=["interpreted", "pyjit", "cpp"], default=None,
+        help="execution engine (default: $PYGB_BACKEND or pyjit)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="matrix/graph statistics")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("bfs", help="hop distances from a source vertex")
+    p.add_argument("file")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=cmd_bfs)
+
+    p = sub.add_parser("sssp", help="weighted shortest distances")
+    p.add_argument("file")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=cmd_sssp)
+
+    p = sub.add_parser("pagerank", help="rank vertices")
+    p.add_argument("file")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--damping", type=float, default=0.85)
+    p.add_argument("--tol", type=float, default=1e-8)
+    p.set_defaults(fn=cmd_pagerank)
+
+    p = sub.add_parser("triangles", help="count triangles (symmetric input)")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_triangles)
+
+    p = sub.add_parser("components", help="connected components (symmetric input)")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_components)
+
+    p = sub.add_parser("engines", help="list available execution engines")
+    p.set_defaults(fn=cmd_engines)
+
+    args = parser.parse_args(argv)
+    if args.engine:
+        from .core.context import use_engine
+
+        use_engine(args.engine)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

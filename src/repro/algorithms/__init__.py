@@ -1,0 +1,47 @@
+"""The four algorithms of the paper's evaluation (Sec. VI), each in the
+three execution versions benchmarked in Fig. 10:
+
+1. **DSL** (``bfs``, ``sssp``, ``pagerank``, ``triangle_count``) — PyGB
+   code with Python outer loops, transcribed from Figs. 2b/4a/5a/7;
+2. **native** (``*_native``) — direct backend-kernel calls with no DSL
+   dispatch, the stand-in for hand-written GBTL C++;
+3. **compiled** (:mod:`repro.algorithms.compiled`) — the whole algorithm
+   generated and JIT-compiled as a single C++ module, called once from
+   Python (the paper's "version 2").
+
+Beyond the paper's four, the suite carries the further GBTL
+algorithm-collection members expressible in the DSL: connected
+components, Luby's maximal independent set, k-truss (built on
+``gb.select``), and Brandes betweenness centrality.
+"""
+
+from .bfs import bfs, bfs_levels, bfs_native
+from .sssp import sssp, sssp_converging, sssp_distances, sssp_native
+from .pagerank import pagerank, pagerank_native
+from .triangle_count import lower_triangle, triangle_count, triangle_count_native
+from .connected_components import component_count, connected_components
+from .mis import maximal_independent_set
+from .ktruss import edge_support, k_truss
+from .betweenness import bc_from_source, betweenness_centrality
+
+__all__ = [
+    "bfs",
+    "bfs_levels",
+    "bfs_native",
+    "sssp",
+    "sssp_converging",
+    "sssp_distances",
+    "sssp_native",
+    "pagerank",
+    "pagerank_native",
+    "triangle_count",
+    "triangle_count_native",
+    "lower_triangle",
+    "connected_components",
+    "component_count",
+    "maximal_independent_set",
+    "k_truss",
+    "edge_support",
+    "betweenness_centrality",
+    "bc_from_source",
+]

@@ -1,0 +1,43 @@
+"""Connected components by min-label propagation.
+
+Every vertex starts labelled with its own index; each round replaces a
+vertex's label with the minimum label in its closed neighbourhood, via
+``mxv`` over the (Min, Second) semiring with a Min accumulator.  Labels
+stabilise after O(diameter) rounds, at which point every component is
+labelled by its smallest member — the classic GraphBLAS formulation (a
+simplification of FastSV, which GBTL's algorithm suite also ships).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import core
+from ..core.operators import Accumulator
+from ..core.predefined import MinSelect2ndSemiring
+
+__all__ = ["connected_components", "component_count"]
+
+
+def connected_components(adjacency: "core.Matrix", max_iters: int | None = None) -> "core.Vector":
+    """Component labels for an **undirected** (symmetric) adjacency
+    matrix: ``labels[v]`` is the smallest vertex id in v's component."""
+    gb = core
+    n = adjacency.nrows
+    labels = gb.Vector((np.arange(n, dtype=np.int64), np.arange(n)), shape=(n,))
+    if max_iters is None:
+        max_iters = n
+    with MinSelect2ndSemiring, Accumulator("Min"):
+        for _ in range(max_iters):
+            before = labels.dup()
+            # labels(i) = min(labels(i), min_{j∈N(i)} labels(j))
+            labels[None] += adjacency @ labels
+            if labels.isequal(before):
+                break
+    return labels
+
+
+def component_count(adjacency: "core.Matrix") -> int:
+    """Number of connected components of a symmetric adjacency matrix."""
+    labels = connected_components(adjacency)
+    return int(np.unique(labels.to_coo()[1]).size)

@@ -1,0 +1,75 @@
+"""Maximal independent set via Luby's randomised algorithm — a GBTL
+algorithm-suite member, expressed in PyGB.
+
+Each round, every remaining candidate draws a random score; candidates
+whose score beats every remaining neighbour's score join the set, and
+they and their neighbours leave the candidate pool.  All the set algebra
+is masks and semiring products:
+
+* neighbour maxima: ``A ⊕.⊗ score`` over (Max, Second), masked to
+  candidates;
+* winners: ``score > neighbour_max`` eWiseMult, plus isolated candidates
+  (no remaining neighbour at all);
+* pool shrink: complement-masked replace assignments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import core
+from ..backend.kernels import OpDesc
+from ..backend.svector import SparseVector
+from ..core.context import current_backend_engine
+from ..core.operators import Semiring
+from ..core.predefined import LogicalSemiring, MaxMonoid
+
+__all__ = ["maximal_independent_set"]
+
+
+def maximal_independent_set(adjacency: "core.Matrix", seed: int = 0) -> "core.Vector":
+    """MIS of an undirected (symmetric) adjacency matrix: a Boolean
+    vector with an entry per member.  No two members are adjacent and
+    every non-member has a member neighbour (verified by the tests)."""
+    gb = core
+    n = adjacency.nrows
+    rng = np.random.default_rng(seed)
+    eng = current_backend_engine()
+
+    iset = gb.Vector(shape=(n,), dtype=bool)
+    candidates = gb.Vector(
+        (np.ones(n, dtype=bool), np.arange(n)), shape=(n,), dtype=bool
+    )
+
+    while candidates.nvals > 0:
+        cand_idx = candidates.to_coo()[0]
+        # strictly positive scores so a winner's score beats "no neighbour"
+        scores = gb.Vector(
+            (rng.uniform(1.0, 2.0, cand_idx.size), cand_idx), shape=(n,)
+        )
+        # max score among my *candidate* neighbours
+        with Semiring(MaxMonoid, "Second"), gb.Replace:
+            nbr_max = gb.Vector(shape=(n,), dtype=float)
+            nbr_max[candidates] = adjacency @ scores
+        # winners: candidates whose score beats every neighbour (vertices
+        # with no surviving neighbour have no nbr_max entry and win too)
+        nbr_dense = nbr_max.to_numpy()
+        score_dense = scores.to_numpy()
+        winner_idx = cand_idx[score_dense[cand_idx] > nbr_dense[cand_idx]]
+        if winner_idx.size == 0:  # extremely unlikely tie stalemate
+            winner_idx = cand_idx[:1]
+        winners = gb.Vector(
+            (np.ones(winner_idx.size, dtype=bool), winner_idx), shape=(n,), dtype=bool
+        )
+        iset[winners][:] = True
+        # neighbours of winners leave the pool with them
+        with LogicalSemiring, gb.Replace:
+            touched = gb.Vector(shape=(n,), dtype=bool)
+            touched[candidates] = adjacency @ winners
+        remove = touched.to_coo()[0]
+        drop = np.union1d(remove, winner_idx)
+        keep = np.setdiff1d(cand_idx, drop)
+        candidates._store = SparseVector.from_coo(
+            n, keep, np.ones(keep.size, dtype=bool), np.bool_
+        )
+    return iset

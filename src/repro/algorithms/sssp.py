@@ -1,0 +1,77 @@
+"""Single-source shortest path over the (min, +) semiring (paper Fig. 4).
+
+Bellman-Ford-style relaxation: ``|V|`` rounds of
+``path[None] += graph.T @ path`` under ``MinPlusSemiring`` with a ``Min``
+accumulator (which, as the paper notes, may be omitted — the accumulate
+falls back to the semiring's MinMonoid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import core
+from ..backend import kernels as K
+from ..backend.kernels import OpDesc
+from ..backend.smatrix import SparseMatrix
+from ..backend.svector import SparseVector
+from ..core.operators import Accumulator
+from ..core.predefined import MinPlusSemiring
+
+__all__ = ["sssp", "sssp_distances", "sssp_native"]
+
+
+def sssp(graph: "core.Matrix", path: "core.Vector") -> "core.Vector":
+    """Paper Fig. 4a verbatim: *path* holds 0 at the source(s) on entry
+    and the shortest distances on return (no entry = unreachable)."""
+    with MinPlusSemiring, Accumulator("Min"):
+        for _ in range(graph.shape[0]):
+            path[None] += graph.T @ path
+    return path
+
+
+def sssp_converging(graph: "core.Matrix", path: "core.Vector") -> "core.Vector":
+    """Fig. 4a plus a fixed-point test after each relaxation round.
+
+    The paper's listing always runs ``|V|`` rounds; on the Erdős–Rényi
+    inputs of Fig. 10 the distances converge after ~diameter rounds, so
+    the benchmarks use this variant *in all three execution versions* to
+    keep the measured work identical (see EXPERIMENTS.md).
+    """
+    n = graph.shape[0]
+    with MinPlusSemiring, Accumulator("Min"):
+        for _ in range(n):
+            before_nvals = path.nvals
+            before = path.dup()
+            path[None] += graph.T @ path
+            if path.nvals == before_nvals and path.isequal(before):
+                break
+    return path
+
+
+def sssp_distances(graph: "core.Matrix", source: int) -> "core.Vector":
+    """Convenience wrapper: distances from a single source vertex."""
+    path = core.Vector(([0.0], [source]), shape=(graph.nrows,), dtype=graph.dtype)
+    return sssp(graph, path)
+
+
+def sssp_native(graph: SparseMatrix, source: int) -> SparseVector:
+    """Fig. 4b transliterated: direct kernel calls, no DSL objects.
+
+    Stops early once the distance vector reaches a fixed point — the same
+    optimisation a hand-tuned GBTL implementation would apply, and the
+    loop is bounded by ``|V|`` as in the paper.
+    """
+    n = graph.nrows
+    path = SparseVector.from_coo(n, [source], [0], graph.dtype)
+    gt = graph.transposed()
+    for _ in range(n):
+        new_path = K.mxv(path, gt, path, "Min", "Plus", OpDesc(accum="Min"))
+        if (
+            new_path.nvals == path.nvals
+            and np.array_equal(new_path.indices, path.indices)
+            and np.array_equal(new_path.values, path.values)
+        ):
+            break
+        path = new_path
+    return path

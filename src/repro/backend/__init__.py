@@ -1,0 +1,15 @@
+"""Vectorised NumPy execution backend.
+
+This subpackage is the stand-in for GBTL (the paper's C++ GraphBLAS
+Template Library): sparse containers (:mod:`~repro.backend.svector`,
+:mod:`~repro.backend.smatrix`), vectorised primitives
+(:mod:`~repro.backend.primitives`), one kernel module per GraphBLAS
+operation (:mod:`~repro.backend.kernels`), the operator table
+(:mod:`~repro.backend.ops_table`) and a naive dict-of-keys reference
+implementation used as the test oracle (:mod:`~repro.backend.reference`).
+"""
+
+from .smatrix import SparseMatrix
+from .svector import SparseVector
+
+__all__ = ["SparseMatrix", "SparseVector"]

@@ -1,0 +1,68 @@
+"""GraphBLAS ``apply``: elementwise unary function over stored values.
+
+Supports GBTL's three functional forms: a plain unary operator, and a
+binary operator with a bound constant on either side (``BinaryOp_Bind1st``
+/ ``BinaryOp_Bind2nd``), which is how the paper's ``gb.UnaryOp("Times",
+damping_factor)`` is realised (Fig. 7/8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..smatrix import SparseMatrix
+from ..svector import SparseVector
+from .. import primitives as P
+from ..ops_table import apply_binary, apply_unary
+from ...exceptions import DimensionMismatch
+from .common import OpDesc, finalize_mat, finalize_vec
+
+__all__ = ["apply_mat", "apply_vec", "resolve_unary"]
+
+
+def resolve_unary(op_spec):
+    """Turn an op spec into ``values -> values``.
+
+    ``op_spec`` is either ``("unary", name)`` or
+    ``("bind", binop_name, constant, side)`` with side ``"first"`` (the
+    constant is the left operand) or ``"second"``.
+    """
+    kind = op_spec[0]
+    if kind == "unary":
+        name = op_spec[1]
+        return lambda vals: apply_unary(name, vals)
+    if kind == "bind":
+        _, name, const, side = op_spec
+        if side == "first":
+            return lambda vals: apply_binary(name, np.broadcast_to(const, vals.shape), vals)
+        return lambda vals: apply_binary(name, vals, np.broadcast_to(const, vals.shape))
+    raise ValueError(f"bad unary op spec {op_spec!r}")
+
+
+def apply_mat(
+    c: SparseMatrix,
+    a: SparseMatrix,
+    op_spec,
+    desc: OpDesc = OpDesc(),
+    transpose_a: bool = False,
+) -> SparseMatrix:
+    """``C<M, z> = C (accum) f(A)``; the pattern of ``f(A)`` equals the
+    pattern of ``A`` (apply never drops or creates entries)."""
+    if transpose_a:
+        a = a.transposed()
+    if c.shape != a.shape:
+        raise DimensionMismatch(f"apply: output shape {c.shape} != operand shape {a.shape}")
+    rows, cols, vals = a.coo()
+    t_vals = resolve_unary(op_spec)(vals)
+    t_keys = P.encode_keys(rows, cols, a.ncols)
+    return finalize_mat(c, t_keys, np.asarray(t_vals), desc)
+
+
+def apply_vec(
+    w: SparseVector, u: SparseVector, op_spec, desc: OpDesc = OpDesc()
+) -> SparseVector:
+    """``w<m, z> = w (accum) f(u)``."""
+    if w.size != u.size:
+        raise DimensionMismatch(f"apply: output size {w.size} != operand size {u.size}")
+    t_vals = resolve_unary(op_spec)(u.values)
+    return finalize_vec(w, u.indices, np.asarray(t_vals), desc)

@@ -1,0 +1,94 @@
+"""Shared kernel machinery: the operation descriptor and output finalisation.
+
+``OpDesc`` is the backend analog of a ``GrB_Descriptor`` plus the mask and
+accumulator arguments of the C API: it carries everything about an
+operation *except* its computational inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import ops_table, primitives as P
+from ..smatrix import SparseMatrix
+from ..svector import SparseVector
+
+__all__ = ["OpDesc", "mask_keys_vec", "mask_keys_mat", "finalize_vec", "finalize_mat"]
+
+
+@dataclass(frozen=True)
+class OpDesc:
+    """Output-write controls for one GraphBLAS operation.
+
+    ``mask`` is a backend container (SparseVector/SparseMatrix) or ``None``
+    (the DSL's ``C[None]`` / GBTL's ``NoMask``).  Mask values are coerced
+    to boolean per the paper (Sec. III): an element of the mask is *true*
+    iff an entry is present **and** its value is truthy.
+    """
+
+    mask: object | None = None
+    complement: bool = False
+    replace: bool = False
+    accum: str | None = None  #: binary-op name, or None for NoAccumulate
+
+    def accum_map2(self):
+        return ops_table.binary_def(self.accum).func if self.accum else None
+
+
+def mask_keys_vec(mask: SparseVector | None) -> np.ndarray | None:
+    """Sorted indices at which a vector mask is true (None = NoMask)."""
+    if mask is None:
+        return None
+    return mask.bool_indices()
+
+
+def mask_keys_mat(mask: SparseMatrix | None) -> np.ndarray | None:
+    """Sorted flat keys at which a matrix mask is true (None = NoMask)."""
+    if mask is None:
+        return None
+    rows, cols, vals = mask.coo()
+    truthy = vals.astype(bool)
+    return P.encode_keys(rows[truthy], cols[truthy], mask.ncols)
+
+
+def finalize_vec(
+    c: SparseVector, t_idx: np.ndarray, t_vals: np.ndarray, desc: OpDesc
+) -> SparseVector:
+    """Apply accumulate + mask + replace and build the output vector
+    (output dtype is the dtype of the existing output container ``c``)."""
+    keys, vals = P.finalize(
+        c.indices,
+        c.values,
+        t_idx,
+        t_vals,
+        c.dtype,
+        mask_keys_vec(desc.mask),
+        desc.complement,
+        desc.replace,
+        desc.accum_map2(),
+    )
+    return SparseVector.from_sorted(c.size, keys, vals)
+
+
+def finalize_mat(
+    c: SparseMatrix, t_keys: np.ndarray, t_vals: np.ndarray, desc: OpDesc
+) -> SparseMatrix:
+    """Matrix counterpart of :func:`finalize_vec`; ``t_keys`` are flat
+    row-major keys as produced by :func:`repro.backend.primitives.encode_keys`."""
+    c_rows, c_cols, c_vals = c.coo()
+    old_keys = P.encode_keys(c_rows, c_cols, c.ncols)
+    keys, vals = P.finalize(
+        old_keys,
+        c_vals,
+        t_keys,
+        t_vals,
+        c.dtype,
+        mask_keys_mat(desc.mask),
+        desc.complement,
+        desc.replace,
+        desc.accum_map2(),
+    )
+    rows, cols = P.decode_keys(keys, c.ncols)
+    return SparseMatrix.from_coo_sorted(c.nrows, c.ncols, rows, cols, vals)

@@ -1,0 +1,101 @@
+"""Elementwise union (``eWiseAdd``) and intersection (``eWiseMult``)
+operations on matrices and vectors."""
+
+from __future__ import annotations
+
+from ..smatrix import SparseMatrix
+from ..svector import SparseVector
+from .. import primitives as P
+from ..ops_table import binary_def, binary_result_dtype
+from ...exceptions import DimensionMismatch
+from .common import OpDesc, finalize_mat, finalize_vec
+
+__all__ = ["ewise_add_mat", "ewise_add_vec", "ewise_mult_mat", "ewise_mult_vec"]
+
+
+def _check_mat(c: SparseMatrix, a: SparseMatrix, b: SparseMatrix, what: str) -> None:
+    if a.shape != b.shape:
+        raise DimensionMismatch(f"{what}: operand shapes differ: {a.shape} vs {b.shape}")
+    if c.shape != a.shape:
+        raise DimensionMismatch(f"{what}: output shape {c.shape} != operand shape {a.shape}")
+
+
+def _check_vec(w: SparseVector, u: SparseVector, v: SparseVector, what: str) -> None:
+    if u.size != v.size:
+        raise DimensionMismatch(f"{what}: operand sizes differ: {u.size} vs {v.size}")
+    if w.size != u.size:
+        raise DimensionMismatch(f"{what}: output size {w.size} != operand size {u.size}")
+
+
+def _mat_keys(m: SparseMatrix):
+    rows, cols, vals = m.coo()
+    return P.encode_keys(rows, cols, m.ncols), vals
+
+
+def ewise_add_mat(
+    c: SparseMatrix,
+    a: SparseMatrix,
+    b: SparseMatrix,
+    op: str,
+    desc: OpDesc = OpDesc(),
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+) -> SparseMatrix:
+    """``C<M, z> = C (accum) (A ⊕ B)`` — pattern union; ⊕ applied only
+    where both operands have an entry, values pass through elsewhere."""
+    if transpose_a:
+        a = a.transposed()
+    if transpose_b:
+        b = b.transposed()
+    _check_mat(c, a, b, "eWiseAdd")
+    ka, va = _mat_keys(a)
+    kb, vb = _mat_keys(b)
+    out_dtype = binary_result_dtype(op, a.dtype, b.dtype)
+    t_keys, t_vals = P.union_merge(ka, va, kb, vb, binary_def(op).func, out_dtype)
+    return finalize_mat(c, t_keys, t_vals, desc)
+
+
+def ewise_mult_mat(
+    c: SparseMatrix,
+    a: SparseMatrix,
+    b: SparseMatrix,
+    op: str,
+    desc: OpDesc = OpDesc(),
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+) -> SparseMatrix:
+    """``C<M, z> = C (accum) (A ⊗ B)`` — pattern intersection."""
+    if transpose_a:
+        a = a.transposed()
+    if transpose_b:
+        b = b.transposed()
+    _check_mat(c, a, b, "eWiseMult")
+    ka, va = _mat_keys(a)
+    kb, vb = _mat_keys(b)
+    out_dtype = binary_result_dtype(op, a.dtype, b.dtype)
+    t_keys, t_vals = P.intersect_merge(ka, va, kb, vb, binary_def(op).func, out_dtype)
+    return finalize_mat(c, t_keys, t_vals, desc)
+
+
+def ewise_add_vec(
+    w: SparseVector, u: SparseVector, v: SparseVector, op: str, desc: OpDesc = OpDesc()
+) -> SparseVector:
+    """``w<m, z> = w (accum) (u ⊕ v)``."""
+    _check_vec(w, u, v, "eWiseAdd")
+    out_dtype = binary_result_dtype(op, u.dtype, v.dtype)
+    t_idx, t_vals = P.union_merge(
+        u.indices, u.values, v.indices, v.values, binary_def(op).func, out_dtype
+    )
+    return finalize_vec(w, t_idx, t_vals, desc)
+
+
+def ewise_mult_vec(
+    w: SparseVector, u: SparseVector, v: SparseVector, op: str, desc: OpDesc = OpDesc()
+) -> SparseVector:
+    """``w<m, z> = w (accum) (u ⊗ v)``."""
+    _check_vec(w, u, v, "eWiseMult")
+    out_dtype = binary_result_dtype(op, u.dtype, v.dtype)
+    t_idx, t_vals = P.intersect_merge(
+        u.indices, u.values, v.indices, v.values, binary_def(op).func, out_dtype
+    )
+    return finalize_vec(w, t_idx, t_vals, desc)

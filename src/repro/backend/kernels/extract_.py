@@ -1,0 +1,77 @@
+"""GraphBLAS ``extract``: gather a sub-matrix / sub-vector by index lists.
+
+Index lists may repeat indices and appear in any order, per the C API
+(repeated indices duplicate the corresponding rows/columns of the result).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..smatrix import SparseMatrix
+from ..svector import SparseVector
+from .. import primitives as P
+from ...exceptions import IndexOutOfBounds
+from .common import OpDesc, finalize_mat, finalize_vec
+
+__all__ = ["extract_mat", "extract_vec"]
+
+
+def _check_indices(idx: np.ndarray, limit: int, what: str) -> np.ndarray:
+    idx = np.asarray(idx, dtype=np.int64).ravel()
+    if idx.size and (idx.min() < 0 or idx.max() >= limit):
+        raise IndexOutOfBounds(f"{what} index out of range (limit {limit})")
+    return idx
+
+
+def extract_mat(
+    c: SparseMatrix,
+    a: SparseMatrix,
+    row_indices,
+    col_indices,
+    desc: OpDesc = OpDesc(),
+    transpose_a: bool = False,
+) -> SparseMatrix:
+    """``C<M, z> = C (accum) A(i, j)`` with ``C.shape == (len(i), len(j))``.
+
+    Row gather uses CSR range expansion; column selection (including
+    duplicates and permutations) uses a sorted search over the column
+    index list so each source entry fans out to every requesting output
+    column.
+    """
+    if transpose_a:
+        a = a.transposed()
+    rows = _check_indices(row_indices, a.nrows, "row")
+    cols = _check_indices(col_indices, a.ncols, "column")
+    # gather the selected rows, in output order (duplicates permitted)
+    starts = a.indptr[rows]
+    counts = a.indptr[rows + 1] - a.indptr[rows]
+    pos = P.expand_ranges(starts, counts)
+    out_rows = np.repeat(np.arange(rows.size, dtype=np.int64), counts)
+    src_cols = a.indices[pos]
+    vals = a.values[pos]
+    # fan each gathered entry out to all output columns requesting it
+    order = np.argsort(cols, kind="stable")
+    cols_sorted = cols[order]
+    lo = np.searchsorted(cols_sorted, src_cols, side="left")
+    hi = np.searchsorted(cols_sorted, src_cols, side="right")
+    fan = (hi - lo).astype(np.int64)
+    sel_pos = P.expand_ranges(lo, fan)
+    out_cols = order[sel_pos]
+    out_rows = np.repeat(out_rows, fan)
+    out_vals = np.repeat(vals, fan)
+    keys = P.encode_keys(out_rows, out_cols, cols.size)
+    sort = np.argsort(keys, kind="stable")
+    return finalize_mat(c, keys[sort], out_vals[sort], desc)
+
+
+def extract_vec(
+    w: SparseVector, u: SparseVector, indices, desc: OpDesc = OpDesc()
+) -> SparseVector:
+    """``w<m, z> = w (accum) u(i)`` with ``w.size == len(i)``."""
+    idx = _check_indices(indices, u.size, "vector")
+    dense, present = u.dense_lookup()
+    keep = present[idx]
+    t_idx = np.flatnonzero(keep).astype(np.int64)
+    t_vals = dense[idx[keep]]
+    return finalize_vec(w, t_idx, t_vals, desc)

@@ -1,0 +1,57 @@
+"""Matrix-matrix multiply over an arbitrary semiring (GraphBLAS ``mxm``)."""
+
+from __future__ import annotations
+
+from ..smatrix import SparseMatrix
+from .. import ops_table, primitives as P
+from ..ops_table import binary_def, binary_result_dtype, reduce_ufunc
+from ...exceptions import DimensionMismatch
+from .common import OpDesc, finalize_mat
+
+__all__ = ["mxm"]
+
+
+def mxm(
+    c: SparseMatrix,
+    a: SparseMatrix,
+    b: SparseMatrix,
+    add_op: str,
+    mult_op: str,
+    desc: OpDesc = OpDesc(),
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+) -> SparseMatrix:
+    """``C<M, z> = C (accum) A ⊕.⊗ B``.
+
+    Uses expansion SpGEMM (:func:`~repro.backend.primitives.spgemm_expand`):
+    per-nonzero gather of B rows, elementwise ``⊗``, then coalescing of
+    duplicate output coordinates with the ``⊕`` monoid's ufunc.
+    """
+    if transpose_a:
+        a = a.transposed()
+    if transpose_b:
+        b = b.transposed()
+    if a.ncols != b.nrows:
+        raise DimensionMismatch(
+            f"mxm inner dimensions disagree: {a.shape} @ {b.shape}"
+        )
+    if (a.nrows, b.ncols) != c.shape:
+        raise DimensionMismatch(
+            f"mxm output shape {(a.nrows, b.ncols)} != container shape {c.shape}"
+        )
+    a_rows, a_cols, a_vals = a.coo()
+    compute_dtype = binary_result_dtype(mult_op, a.dtype, b.dtype)
+    t_keys, t_vals = P.spgemm_expand(
+        a_rows,
+        a_cols,
+        a_vals,
+        b.indptr,
+        b.indices,
+        b.values,
+        b.ncols,
+        binary_def(mult_op).func,
+        reduce_ufunc(add_op),
+        compute_dtype,
+        logical=ops_table.binary_def(add_op).kind == "logical",
+    )
+    return finalize_mat(c, t_keys, t_vals, desc)

@@ -1,0 +1,88 @@
+"""Matrix-vector and vector-matrix multiply over an arbitrary semiring
+(GraphBLAS ``mxv`` / ``vxm``)."""
+
+from __future__ import annotations
+
+from ..smatrix import SparseMatrix
+from ..svector import SparseVector
+from .. import ops_table, primitives as P
+from ..ops_table import binary_def, binary_result_dtype, reduce_ufunc
+from ...exceptions import DimensionMismatch
+from .common import OpDesc, finalize_vec
+
+__all__ = ["mxv", "vxm"]
+
+
+def mxv(
+    w: SparseVector,
+    a: SparseMatrix,
+    u: SparseVector,
+    add_op: str,
+    mult_op: str,
+    desc: OpDesc = OpDesc(),
+    transpose_a: bool = False,
+) -> SparseVector:
+    """``w<m, z> = w (accum) A ⊕.⊗ u``.
+
+    The sparse operand ``u`` is scattered to a dense lookup once, so the
+    per-nonzero gather over A is a single fancy index (see
+    :func:`~repro.backend.primitives.spmv_gather`).
+    """
+    if transpose_a:
+        a = a.transposed()
+    if a.ncols != u.size:
+        raise DimensionMismatch(f"mxv: matrix has {a.ncols} columns, vector size {u.size}")
+    if a.nrows != w.size:
+        raise DimensionMismatch(f"mxv: matrix has {a.nrows} rows, output size {w.size}")
+    x_dense, x_present = u.dense_lookup()
+    compute_dtype = binary_result_dtype(mult_op, a.dtype, u.dtype)
+    t_idx, t_vals = P.spmv_gather(
+        a.indptr,
+        a.indices,
+        a.values,
+        a.nrows,
+        x_dense,
+        x_present,
+        binary_def(mult_op).func,
+        reduce_ufunc(add_op),
+        compute_dtype,
+        logical=ops_table.binary_def(add_op).kind == "logical",
+    )
+    return finalize_vec(w, t_idx, t_vals, desc)
+
+
+def vxm(
+    w: SparseVector,
+    u: SparseVector,
+    a: SparseMatrix,
+    add_op: str,
+    mult_op: str,
+    desc: OpDesc = OpDesc(),
+    transpose_a: bool = False,
+) -> SparseVector:
+    """``w<m, z> = w (accum) u ⊕.⊗ A`` — row vector times matrix.
+
+    Implemented as ``mxv`` on the (cached) transpose, with the multiply
+    operands swapped back so non-commutative ``⊗`` sees ``u ⊗ A`` order.
+    """
+    at = a if transpose_a else a.transposed()
+    if at.ncols != u.size:
+        raise DimensionMismatch(f"vxm: vector size {u.size}, matrix shape {a.shape}")
+    if at.nrows != w.size:
+        raise DimensionMismatch(f"vxm: output size {w.size}, matrix shape {a.shape}")
+    x_dense, x_present = u.dense_lookup()
+    compute_dtype = binary_result_dtype(mult_op, u.dtype, a.dtype)
+    mult = binary_def(mult_op).func
+    t_idx, t_vals = P.spmv_gather(
+        at.indptr,
+        at.indices,
+        at.values,
+        at.nrows,
+        x_dense,
+        x_present,
+        lambda av, xv: mult(xv, av),  # u(k) ⊗ A(k, j): vector value on the left
+        reduce_ufunc(add_op),
+        compute_dtype,
+        logical=ops_table.binary_def(add_op).kind == "logical",
+    )
+    return finalize_vec(w, t_idx, t_vals, desc)

@@ -1,0 +1,69 @@
+"""GraphBLAS ``reduce``: monoid reductions to a scalar or to a vector of
+row reductions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..smatrix import SparseMatrix
+from ..svector import SparseVector
+from .. import primitives as P
+from ..ops_table import binary_def, identity_value, reduce_ufunc, DEFAULT_IDENTITY_NAME
+from ...exceptions import DimensionMismatch
+from .common import OpDesc, finalize_vec
+
+__all__ = ["reduce_mat_scalar", "reduce_vec_scalar", "reduce_rows"]
+
+
+def _monoid_identity(op: str, identity, dtype):
+    if identity is None:
+        identity = DEFAULT_IDENTITY_NAME[op]
+    return identity_value(identity, dtype)
+
+
+def _reduce_all(op: str, values: np.ndarray, identity, dtype):
+    """Monoid-reduce a flat value array; empty input yields the identity,
+    per the C API (``GrB_reduce`` to scalar with no stored values)."""
+    if values.size == 0:
+        return _monoid_identity(op, identity, dtype)
+    uf = reduce_ufunc(op)
+    vals = values.astype(bool) if binary_def(op).kind == "logical" else values
+    out = uf.reduce(vals)
+    return np.dtype(dtype).type(out)
+
+
+def reduce_mat_scalar(a: SparseMatrix, op: str = "Plus", identity=None, accum=None, s=None):
+    """``s = s (accum) [⊕ over all stored A(i,j)]``; returns a NumPy scalar
+    of A's dtype (or the accumulated value when *accum*/*s* are given)."""
+    val = _reduce_all(op, a.values, identity, a.dtype)
+    if accum is not None and s is not None:
+        val = np.dtype(a.dtype).type(binary_def(accum).func(s, val))
+    return val
+
+
+def reduce_vec_scalar(u: SparseVector, op: str = "Plus", identity=None, accum=None, s=None):
+    """``s = s (accum) [⊕ over all stored u(i)]``."""
+    val = _reduce_all(op, u.values, identity, u.dtype)
+    if accum is not None and s is not None:
+        val = np.dtype(u.dtype).type(binary_def(accum).func(s, val))
+    return val
+
+
+def reduce_rows(
+    w: SparseVector,
+    a: SparseMatrix,
+    op: str = "Plus",
+    desc: OpDesc = OpDesc(),
+    transpose_a: bool = False,
+) -> SparseVector:
+    """``w<m, z> = w (accum) [⊕_j A(:, j)]`` — one entry per non-empty row
+    (rows with no stored values produce no output entry)."""
+    if transpose_a:
+        a = a.transposed()
+    if w.size != a.nrows:
+        raise DimensionMismatch(f"reduce: output size {w.size} != row count {a.nrows}")
+    rows, _cols, vals = a.coo()
+    starts = P.segment_starts(rows)
+    logical = binary_def(op).kind == "logical"
+    t_vals = P.segment_reduce(reduce_ufunc(op), vals, starts, logical)
+    return finalize_vec(w, rows[starts], t_vals, desc)

@@ -1,0 +1,27 @@
+"""GraphBLAS ``transpose`` as a standalone operation (``C<M, z> = C ⊙ Aᵀ``).
+
+Inside other kernels transposition is a flag resolved against the cached
+transpose; this module covers the explicit-assignment form of Table I
+(``C[M, z] = A.T``).
+"""
+
+from __future__ import annotations
+
+from ..smatrix import SparseMatrix
+from .. import primitives as P
+from ...exceptions import DimensionMismatch
+from .common import OpDesc, finalize_mat
+
+__all__ = ["transpose"]
+
+
+def transpose(c: SparseMatrix, a: SparseMatrix, desc: OpDesc = OpDesc()) -> SparseMatrix:
+    """``C<M, z> = C (accum) Aᵀ``."""
+    at = a.transposed()
+    if c.shape != at.shape:
+        raise DimensionMismatch(
+            f"transpose: output shape {c.shape} != transposed shape {at.shape}"
+        )
+    rows, cols, vals = at.coo()
+    t_keys = P.encode_keys(rows, cols, at.ncols)
+    return finalize_mat(c, t_keys, vals, desc)

@@ -1,0 +1,298 @@
+"""Vectorised primitives shared by every backend kernel.
+
+These are the NumPy equivalents of GBTL's internal template helpers: the
+sorted-merge, segment-reduce, expansion and mask-filter routines out of
+which the GraphBLAS operations are composed.  Kernels (and the JIT's
+generated Python modules) call these with concrete callables/ufuncs bound,
+so all per-element work happens inside NumPy.
+
+Conventions
+-----------
+* Sparse vectors are ``(indices, values)`` pairs with strictly increasing
+  ``indices``.
+* Sparse matrix intermediates are flat *keys* ``row * ncols + col`` with
+  parallel ``values``, strictly increasing — this keeps every matrix merge
+  a 1-D sorted-array problem.  (Key encoding asserts ``nrows * ncols``
+  fits in int64, which holds for any graph this library targets.)
+* ``map2``/``map1`` arguments are elementwise callables (usually NumPy
+  ufuncs); ``reduce_uf`` arguments are associative ufuncs used via
+  ``reduceat`` over non-empty segments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "encode_keys",
+    "decode_keys",
+    "expand_ranges",
+    "segment_starts",
+    "segment_reduce",
+    "coalesce",
+    "in_sorted",
+    "union_merge",
+    "intersect_merge",
+    "restrict",
+    "finalize",
+    "spgemm_expand",
+    "spmv_gather",
+]
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+
+
+def encode_keys(rows: np.ndarray, cols: np.ndarray, ncols: int) -> np.ndarray:
+    """Flatten ``(row, col)`` coordinates to sortable int64 keys."""
+    return rows * np.int64(ncols) + cols
+
+
+def decode_keys(keys: np.ndarray, ncols: int) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_keys`."""
+    return keys // np.int64(ncols), keys % np.int64(ncols)
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate the integer ranges ``[starts[i], starts[i]+counts[i])``.
+
+    This is the core of expansion-based SpGEMM: it gathers, for every
+    nonzero ``A(i, k)``, the positions of row ``k`` of ``B`` — without a
+    Python-level loop.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY_I
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    return np.repeat(np.asarray(starts, dtype=np.int64), counts) + offsets
+
+
+def segment_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Start offsets of each run of equal values in *sorted_keys*."""
+    if sorted_keys.size == 0:
+        return _EMPTY_I
+    boundary = np.empty(sorted_keys.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=boundary[1:])
+    return np.flatnonzero(boundary)
+
+
+def segment_reduce(
+    reduce_uf: np.ufunc, values: np.ndarray, starts: np.ndarray, logical: bool = False
+) -> np.ndarray:
+    """Reduce *values* over the non-empty segments beginning at *starts*."""
+    if values.size == 0:
+        return values[:0]
+    vals = values.astype(bool) if logical else values
+    return reduce_uf.reduceat(vals, starts)
+
+
+def coalesce(
+    keys: np.ndarray, values: np.ndarray, reduce_uf: np.ufunc, logical: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort *keys* and combine duplicate keys' values with *reduce_uf*.
+
+    Returns strictly-increasing keys with reduced values — the final step
+    of expansion SpGEMM, where one output coordinate receives one product
+    per shared inner index.
+    """
+    if keys.size == 0:
+        return keys, values
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    values = values[order]
+    starts = segment_starts(keys)
+    if starts.size == keys.size:  # already duplicate-free
+        return keys, values
+    return keys[starts], segment_reduce(reduce_uf, values, starts, logical)
+
+
+def in_sorted(needles: np.ndarray, haystack: np.ndarray) -> np.ndarray:
+    """Boolean membership of each *needle* in sorted, unique *haystack*."""
+    if haystack.size == 0:
+        return np.zeros(needles.shape, dtype=bool)
+    pos = np.searchsorted(haystack, needles)
+    pos_clipped = np.minimum(pos, haystack.size - 1)
+    return haystack[pos_clipped] == needles
+
+
+def union_merge(
+    keys_a: np.ndarray,
+    vals_a: np.ndarray,
+    keys_b: np.ndarray,
+    vals_b: np.ndarray,
+    map2,
+    out_dtype: np.dtype,
+) -> tuple[np.ndarray, np.ndarray]:
+    """GraphBLAS ``eWiseAdd`` structure: the union of both patterns, with
+    *map2* applied where both sides have an entry and values passing
+    through unchanged where only one side does.
+
+    *map2* receives ``(a_values, b_values)`` in that argument order, which
+    matters for non-commutative operators such as ``Minus``.
+    """
+    if keys_a.size == 0:
+        return keys_b.copy(), vals_b.astype(out_dtype, copy=True)
+    if keys_b.size == 0:
+        return keys_a.copy(), vals_a.astype(out_dtype, copy=True)
+    common_dt = np.promote_types(vals_a.dtype, vals_b.dtype)
+    keys = np.concatenate([keys_a, keys_b])
+    vals = np.concatenate(
+        [vals_a.astype(common_dt, copy=False), vals_b.astype(common_dt, copy=False)]
+    )
+    # stable sort keeps the A entry ahead of the B entry at equal keys
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    vals = vals[order]
+    starts = segment_starts(keys)
+    out_vals = vals[starts].astype(out_dtype, copy=True)
+    # runs have length 1 or 2; length-2 runs are (A value, B value) pairs
+    run_len = np.diff(np.append(starts, keys.size))
+    pairs = starts[run_len == 2]
+    if pairs.size:
+        combined = map2(vals[pairs], vals[pairs + 1])
+        out_vals[run_len == 2] = np.asarray(combined).astype(out_dtype, copy=False)
+    return keys[starts], out_vals
+
+
+def intersect_merge(
+    keys_a: np.ndarray,
+    vals_a: np.ndarray,
+    keys_b: np.ndarray,
+    vals_b: np.ndarray,
+    map2,
+    out_dtype: np.dtype,
+) -> tuple[np.ndarray, np.ndarray]:
+    """GraphBLAS ``eWiseMult`` structure: the intersection of both
+    patterns, with *map2* applied to each common entry."""
+    if keys_a.size == 0 or keys_b.size == 0:
+        return _EMPTY_I, np.empty(0, dtype=out_dtype)
+    pos = np.searchsorted(keys_a, keys_b)
+    valid = pos < keys_a.size
+    match = np.zeros(keys_b.size, dtype=bool)
+    match[valid] = keys_a[pos[valid]] == keys_b[valid]
+    if not match.any():
+        return _EMPTY_I, np.empty(0, dtype=out_dtype)
+    a_sel = pos[match]
+    out = map2(vals_a[a_sel], vals_b[match])
+    return keys_b[match].copy(), np.asarray(out).astype(out_dtype, copy=False)
+
+
+def restrict(
+    keys: np.ndarray,
+    vals: np.ndarray,
+    mask_keys: np.ndarray,
+    complement: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep only entries whose key is in (or, complemented, *not* in)
+    sorted *mask_keys*.  Complemented masks never densify: the complement
+    is taken implicitly through the set operation."""
+    member = in_sorted(keys, mask_keys)
+    keep = ~member if complement else member
+    return keys[keep], vals[keep]
+
+
+def finalize(
+    old_keys: np.ndarray,
+    old_vals: np.ndarray,
+    t_keys: np.ndarray,
+    t_vals: np.ndarray,
+    out_dtype: np.dtype,
+    mask_keys: np.ndarray | None,
+    complement: bool,
+    replace: bool,
+    accum_map2,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The output-write stage shared by every GraphBLAS operation:
+    ``C<M, z> = C (accum) T`` per the C API Specification.
+
+    1. ``Z = accum(C, T)`` (an eWiseAdd-structured merge) when an
+       accumulator is bound, else ``Z = T``;
+    2. with no mask, ``C = Z``;
+    3. with a mask, inside-mask entries come from ``Z`` (entries *absent*
+       from ``Z`` inside the mask are deleted) and outside-mask entries are
+       kept (merge) or dropped (*replace*).
+    """
+    if accum_map2 is not None:
+        z_keys, z_vals = union_merge(
+            old_keys, old_vals, t_keys, t_vals, accum_map2, out_dtype
+        )
+    else:
+        z_keys, z_vals = t_keys, np.asarray(t_vals).astype(out_dtype, copy=False)
+    if mask_keys is None:
+        return z_keys, z_vals
+    zin_keys, zin_vals = restrict(z_keys, z_vals, mask_keys, complement)
+    if replace:
+        return zin_keys, zin_vals
+    out_keys, out_vals = restrict(old_keys, old_vals, mask_keys, not complement)
+    out_vals = out_vals.astype(out_dtype, copy=False)
+    if zin_keys.size == 0:
+        return out_keys, out_vals
+    if out_keys.size == 0:
+        return zin_keys, zin_vals
+    keys = np.concatenate([out_keys, zin_keys])
+    vals = np.concatenate([out_vals, zin_vals])
+    order = np.argsort(keys, kind="stable")
+    return keys[order], vals[order]
+
+
+def spgemm_expand(
+    a_rows: np.ndarray,
+    a_cols: np.ndarray,
+    a_vals: np.ndarray,
+    b_indptr: np.ndarray,
+    b_indices: np.ndarray,
+    b_vals: np.ndarray,
+    ncols_out: int,
+    map2,
+    reduce_uf: np.ufunc,
+    out_dtype: np.dtype,
+    logical: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expansion (ESC: expand, sort, compress) SpGEMM over an arbitrary
+    semiring: for every nonzero ``A(i, k)`` gather row ``k`` of B, multiply
+    with *map2*, then coalesce duplicate output coordinates with
+    *reduce_uf* — the ``⊕`` of the semiring.
+
+    Returns sorted flat keys (``i * ncols_out + j``) and reduced values.
+    """
+    counts = (b_indptr[a_cols + 1] - b_indptr[a_cols]).astype(np.int64)
+    pos = expand_ranges(b_indptr[a_cols], counts)
+    if pos.size == 0:
+        return _EMPTY_I, np.empty(0, dtype=out_dtype)
+    out_rows = np.repeat(a_rows, counts)
+    out_cols = b_indices[pos]
+    prods = map2(np.repeat(a_vals, counts), b_vals[pos])
+    keys = encode_keys(out_rows, out_cols, ncols_out)
+    keys, vals = coalesce(keys, np.asarray(prods), reduce_uf, logical)
+    return keys, vals.astype(out_dtype, copy=False)
+
+
+def spmv_gather(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    nrows: int,
+    x_dense: np.ndarray,
+    x_present: np.ndarray,
+    map2,
+    reduce_uf: np.ufunc,
+    out_dtype: np.dtype,
+    logical: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse matrix × sparse vector over an arbitrary semiring.
+
+    ``x`` arrives as a dense scatter (``x_dense``/``x_present``) so the
+    per-nonzero gather is a single fancy index; products are then
+    segment-reduced by row.  Rows with no surviving product produce no
+    output entry (GraphBLAS implied-zero semantics).
+    """
+    sel = x_present[indices]
+    if not sel.any():
+        return _EMPTY_I, np.empty(0, dtype=out_dtype)
+    rows = np.repeat(np.arange(nrows, dtype=np.int64), np.diff(indptr))[sel]
+    prods = map2(values[sel], x_dense[indices[sel]])
+    starts = segment_starts(rows)
+    out_vals = segment_reduce(reduce_uf, np.asarray(prods), starts, logical)
+    return rows[starts], out_vals.astype(out_dtype, copy=False)

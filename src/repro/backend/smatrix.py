@@ -1,0 +1,216 @@
+"""Sparse matrix storage for the NumPy backend.
+
+:class:`SparseMatrix` is a CSR (compressed sparse row) container with
+sorted, duplicate-free column indices within each row — the same layout
+GBTL's ``LilSparseMatrix``/CSR backends expose to their kernels.  The
+transpose is materialised lazily and cached, because the evaluated
+algorithms (BFS, SSSP) multiply by ``graph.T`` on every iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionMismatch, IndexOutOfBounds
+from ..types import normalize_dtype
+
+__all__ = ["SparseMatrix"]
+
+
+class SparseMatrix:
+    """CSR sparse matrix; kernels treat instances as immutable."""
+
+    __slots__ = ("nrows", "ncols", "indptr", "indices", "values", "_transpose_cache")
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+    ):
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.indptr = indptr
+        self.indices = indices
+        self.values = values
+        self._transpose_cache: "SparseMatrix | None" = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, nrows: int, ncols: int, dtype) -> "SparseMatrix":
+        dt = normalize_dtype(dtype)
+        return cls(
+            nrows,
+            ncols,
+            np.zeros(nrows + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=dt),
+        )
+
+    @classmethod
+    def from_coo(
+        cls, nrows: int, ncols: int, rows, cols, values, dtype=None, dup_op="Second"
+    ) -> "SparseMatrix":
+        """Build from unordered COO triples, combining duplicates with
+        *dup_op* (default last-wins, GBTL's build behaviour)."""
+        from . import ops_table
+
+        r = np.asarray(rows, dtype=np.int64).ravel()
+        c = np.asarray(cols, dtype=np.int64).ravel()
+        v = np.asarray(values)
+        if np.isscalar(values) or v.ndim == 0:
+            v = np.broadcast_to(v, r.shape).copy()
+        dt = normalize_dtype(dtype) if dtype is not None else None
+        if dt is not None:
+            v = v.astype(dt, copy=False)
+        if not (r.size == c.size == v.size):
+            raise DimensionMismatch(
+                f"COO arrays disagree: {r.size} rows, {c.size} cols, {v.size} values"
+            )
+        if r.size:
+            if r.min() < 0 or r.max() >= nrows:
+                raise IndexOutOfBounds(f"row index out of range for {nrows} rows")
+            if c.min() < 0 or c.max() >= ncols:
+                raise IndexOutOfBounds(f"column index out of range for {ncols} columns")
+        order = np.lexsort((c, r))
+        r, c, v = r[order], c[order], v[order]
+        if r.size > 1:
+            dup = (r[1:] == r[:-1]) & (c[1:] == c[:-1])
+            if dup.any():
+                boundary = np.empty(r.size, dtype=bool)
+                boundary[0] = True
+                boundary[1:] = ~dup
+                starts = np.flatnonzero(boundary)
+                if dup_op == "Second":
+                    ends = np.append(starts[1:], r.size) - 1
+                    r, c, v = r[starts], c[starts], v[ends]
+                elif dup_op == "First":
+                    r, c, v = r[starts], c[starts], v[starts]
+                else:
+                    reduced = ops_table.segment_reduce_values(dup_op, v, starts)
+                    r, c, v = r[starts], c[starts], reduced.astype(v.dtype, copy=False)
+        return cls.from_coo_sorted(nrows, ncols, r, c, v)
+
+    @classmethod
+    def from_coo_sorted(
+        cls, nrows: int, ncols: int, rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+    ) -> "SparseMatrix":
+        """Build from row-major-sorted, duplicate-free COO arrays (no sort)."""
+        indptr = np.zeros(nrows + 1, dtype=np.int64)
+        if rows.size:
+            np.add.at(indptr, rows + 1, 1)
+            np.cumsum(indptr, out=indptr)
+        return cls(nrows, ncols, indptr, cols.astype(np.int64, copy=False), values)
+
+    @classmethod
+    def from_dense(cls, array, dtype=None) -> "SparseMatrix":
+        """Build from a dense 2-D array.  Matching GBTL's dense constructor,
+        **all** elements (zeros included) become stored entries."""
+        arr = np.asarray(array)
+        if arr.ndim != 2:
+            raise DimensionMismatch(f"expected 2-D data, got shape {arr.shape}")
+        dt = normalize_dtype(dtype) if dtype is not None else None
+        vals = arr.astype(dt) if dt is not None else arr.copy()
+        nrows, ncols = arr.shape
+        indptr = np.arange(0, nrows * ncols + 1, ncols, dtype=np.int64)
+        indices = np.tile(np.arange(ncols, dtype=np.int64), nrows)
+        return cls(nrows, ncols, indptr, indices, vals.ravel())
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    @property
+    def nvals(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    # ------------------------------------------------------------------
+    # derived forms
+    # ------------------------------------------------------------------
+    def coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(rows, cols, values)`` in row-major order (cols ascend within
+        each row); rows are expanded from the CSR row pointer."""
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr)
+        )
+        return rows, self.indices, self.values
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def transposed(self) -> "SparseMatrix":
+        """CSR of the transpose (cached; shared immutable arrays)."""
+        if self._transpose_cache is None:
+            rows, cols, vals = self.coo()
+            order = np.lexsort((rows, cols))
+            t = SparseMatrix.from_coo_sorted(
+                self.ncols, self.nrows, cols[order], rows[order], vals[order]
+            )
+            t._transpose_cache = self
+            self._transpose_cache = t
+        return self._transpose_cache
+
+    def row_vector(self, i: int):
+        """Row *i* as a SparseVector of size ``ncols`` (zero-copy slices)."""
+        from .svector import SparseVector
+
+        if not 0 <= i < self.nrows:
+            raise IndexOutOfBounds(f"row {i} out of range for {self.nrows} rows")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return SparseVector.from_sorted(self.ncols, self.indices[lo:hi], self.values[lo:hi])
+
+    def to_dense(self, fill=0) -> np.ndarray:
+        out = np.full((self.nrows, self.ncols), fill, dtype=self.dtype)
+        rows, cols, vals = self.coo()
+        out[rows, cols] = vals
+        return out
+
+    def get(self, i: int, j: int, default=None):
+        """Stored value at ``(i, j)``, or *default*."""
+        if not (0 <= i < self.nrows and 0 <= j < self.ncols):
+            raise IndexOutOfBounds(f"({i}, {j}) out of range for shape {self.shape}")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        pos = lo + np.searchsorted(self.indices[lo:hi], j)
+        if pos < hi and self.indices[pos] == j:
+            return self.values[pos]
+        return default
+
+    def astype(self, dtype) -> "SparseMatrix":
+        dt = normalize_dtype(dtype)
+        if dt == self.dtype:
+            return self
+        return SparseMatrix(
+            self.nrows, self.ncols, self.indptr, self.indices, self.values.astype(dt)
+        )
+
+    def copy(self) -> "SparseMatrix":
+        return SparseMatrix(
+            self.nrows,
+            self.ncols,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.values.copy(),
+        )
+
+    def to_dict(self) -> dict[tuple[int, int], object]:
+        """Plain ``{(i, j): value}`` dict (reference-implementation format)."""
+        rows, cols, vals = self.coo()
+        return {
+            (int(i), int(j)): v.item() for i, j, v in zip(rows, cols, vals)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SparseMatrix(shape={self.shape}, nvals={self.nvals}, dtype={self.dtype})"
+        )

@@ -1,0 +1,160 @@
+"""Sparse vector storage for the NumPy backend.
+
+A :class:`SparseVector` stores the stored (explicit) entries of a
+GraphBLAS vector as a pair of parallel arrays — strictly increasing
+``indices`` and same-length ``values`` — mirroring GBTL's
+``Vector`` container.  Entries absent from ``indices`` are *implied
+zeros* in the GraphBLAS sense: they do not participate in operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionMismatch, IndexOutOfBounds
+from ..types import normalize_dtype
+
+__all__ = ["SparseVector"]
+
+
+class SparseVector:
+    """Immutable-by-convention sorted-coordinate sparse vector.
+
+    Kernels never mutate a ``SparseVector`` in place; they build new ones
+    via :meth:`from_sorted` / :meth:`from_coo`.  This keeps aliasing rules
+    trivial (``w[None] += A @ w`` reads and writes the same vector).
+    """
+
+    __slots__ = ("size", "indices", "values")
+
+    def __init__(self, size: int, indices: np.ndarray, values: np.ndarray):
+        self.size = int(size)
+        self.indices = indices
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, size: int, dtype) -> "SparseVector":
+        """A vector of dimension *size* with no stored entries."""
+        dt = normalize_dtype(dtype)
+        return cls(size, np.empty(0, dtype=np.int64), np.empty(0, dtype=dt))
+
+    @classmethod
+    def from_coo(cls, size: int, indices, values, dtype=None, dup_op="Second") -> "SparseVector":
+        """Build from unordered coordinate data, combining duplicate
+        indices with *dup_op* (default: last one wins, matching GBTL's
+        build with ``Second``)."""
+        from . import ops_table
+
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        dt = normalize_dtype(dtype) if dtype is not None else None
+        vals = np.asarray(values)
+        if np.isscalar(values) or vals.ndim == 0:
+            vals = np.broadcast_to(vals, idx.shape).copy()
+        if dt is not None:
+            vals = vals.astype(dt, copy=False)
+        if idx.size != vals.size:
+            raise DimensionMismatch(
+                f"index array has {idx.size} entries but value array has {vals.size}"
+            )
+        if idx.size and (idx.min() < 0 or idx.max() >= size):
+            raise IndexOutOfBounds(f"vector index out of range for size {size}")
+        if idx.size == 0:
+            return cls(size, idx, vals)
+        order = np.argsort(idx, kind="stable")
+        idx = idx[order]
+        vals = vals[order]
+        if idx.size > 1 and (np.diff(idx) == 0).any():
+            # combine duplicates with dup_op over each run
+            boundary = np.empty(idx.size, dtype=bool)
+            boundary[0] = True
+            boundary[1:] = idx[1:] != idx[:-1]
+            starts = np.flatnonzero(boundary)
+            if dup_op == "Second":
+                # last value of each run wins
+                ends = np.append(starts[1:], idx.size) - 1
+                idx, vals = idx[starts], vals[ends]
+            elif dup_op == "First":
+                idx, vals = idx[starts], vals[starts]
+            else:
+                reduced = ops_table.segment_reduce_values(dup_op, vals, starts)
+                idx, vals = idx[starts], reduced.astype(vals.dtype, copy=False)
+        return cls(size, idx, vals)
+
+    @classmethod
+    def from_sorted(cls, size: int, indices: np.ndarray, values: np.ndarray) -> "SparseVector":
+        """Wrap already-sorted, duplicate-free coordinate arrays (no copy)."""
+        return cls(size, indices, values)
+
+    @classmethod
+    def from_dense(cls, array, dtype=None) -> "SparseVector":
+        """Build from a dense 1-D array; **every** element becomes a stored
+        entry (GraphBLAS containers built from dense data are full)."""
+        arr = np.asarray(array)
+        if arr.ndim != 1:
+            raise DimensionMismatch(f"expected 1-D data, got shape {arr.shape}")
+        dt = normalize_dtype(dtype) if dtype is not None else None
+        vals = arr.astype(dt, copy=True) if dt is not None else arr.copy()
+        return cls(arr.size, np.arange(arr.size, dtype=np.int64), vals)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def nvals(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    # ------------------------------------------------------------------
+    # conversions / access
+    # ------------------------------------------------------------------
+    def to_dense(self, fill=0) -> np.ndarray:
+        """Dense 1-D array with *fill* in place of implied zeros."""
+        out = np.full(self.size, fill, dtype=self.dtype)
+        out[self.indices] = self.values
+        return out
+
+    def dense_lookup(self, fill=0) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, present)`` dense arrays for O(1) gather by index."""
+        vals = np.full(self.size, fill, dtype=self.dtype)
+        present = np.zeros(self.size, dtype=bool)
+        vals[self.indices] = self.values
+        present[self.indices] = True
+        return vals, present
+
+    def get(self, i: int, default=None):
+        """Stored value at index *i*, or *default*."""
+        if not 0 <= i < self.size:
+            raise IndexOutOfBounds(f"index {i} out of range for size {self.size}")
+        pos = np.searchsorted(self.indices, i)
+        if pos < self.indices.size and self.indices[pos] == i:
+            return self.values[pos]
+        return default
+
+    def bool_indices(self) -> np.ndarray:
+        """Indices of entries whose value coerces to True (mask support)."""
+        return self.indices[self.values.astype(bool)]
+
+    def astype(self, dtype) -> "SparseVector":
+        dt = normalize_dtype(dtype)
+        if dt == self.dtype:
+            return self
+        return SparseVector(self.size, self.indices, self.values.astype(dt))
+
+    def copy(self) -> "SparseVector":
+        return SparseVector(self.size, self.indices.copy(), self.values.copy())
+
+    def to_dict(self) -> dict[int, object]:
+        """Plain ``{index: value}`` dict (reference-implementation format)."""
+        return {int(i): self.values[k].item() for k, i in enumerate(self.indices)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SparseVector(size={self.size}, nvals={self.nvals}, dtype={self.dtype})"
+        )

@@ -1,0 +1,32 @@
+"""The PyGB DSL: containers, operators, context managers and deferred
+expressions (the paper's primary contribution, Secs. III-IV)."""
+
+from .operators import (
+    Accumulator,
+    BinaryOp,
+    Monoid,
+    Semiring,
+    UnaryOp,
+)
+from .context import Replace, current_backend_engine, use_engine
+from .matrix import Matrix
+from .vector import Vector
+from .functions import apply, kron, reduce, select, transpose
+
+__all__ = [
+    "Matrix",
+    "Vector",
+    "UnaryOp",
+    "BinaryOp",
+    "Monoid",
+    "Semiring",
+    "Accumulator",
+    "Replace",
+    "apply",
+    "reduce",
+    "transpose",
+    "select",
+    "kron",
+    "use_engine",
+    "current_backend_engine",
+]

@@ -1,0 +1,148 @@
+"""Shared container behaviour for :class:`~repro.core.matrix.Matrix` and
+:class:`~repro.core.vector.Vector`.
+
+The write-side protocol (paper Sec. IV):
+
+* ``C = A @ B`` rebinds ``C`` to a brand-new container;
+* ``C[None] = A @ B`` evaluates into the existing container (retaining
+  the reference, GBTL's ``NoMask``);
+* ``C[None] += expr`` accumulates with the operator inferred from context;
+* ``C[M] = expr`` / ``C[~M] = expr`` / ``C[M, True] = expr`` mask the
+  write (optionally complemented / with the replace flag).
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from ..exceptions import InvalidValue
+from . import operators
+from .expressions import Apply, EWiseAdd, EWiseMult, Expression, TransposeView, TransposeExpr
+from .masks import AccumExpr, Complemented, MaskedView, SetKey, build_desc, parse_mask_key
+
+__all__ = ["Container"]
+
+
+def _is_scalar(value) -> bool:
+    return isinstance(value, (numbers.Number, np.number, np.bool_))
+
+
+class Container:
+    """Base class: operator overloads and the subscript protocol."""
+
+    is_vector = False
+    _store = None  # backend SparseMatrix / SparseVector
+
+    # ------------------------------------------------------------------
+    # shared properties
+    # ------------------------------------------------------------------
+    @property
+    def nvals(self) -> int:
+        """Number of stored values (``GrB_nvals``)."""
+        return self._store.nvals
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._store.dtype
+
+    # ------------------------------------------------------------------
+    # arithmetic operators build deferred expressions
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        if _is_scalar(other):
+            return Apply(self, operators.UnaryOp(operators.resolve_ewise_add_op(), other))
+        return EWiseAdd(self, other)
+
+    def __radd__(self, other):
+        if _is_scalar(other):
+            return Apply(
+                self, operators.UnaryOp(operators.resolve_ewise_add_op(), other, bind="first")
+            )
+        return EWiseAdd(other, self)
+
+    def __mul__(self, other):
+        if _is_scalar(other):
+            return Apply(self, operators.UnaryOp(operators.resolve_ewise_mult_op(), other))
+        return EWiseMult(self, other)
+
+    def __rmul__(self, other):
+        if _is_scalar(other):
+            return Apply(
+                self, operators.UnaryOp(operators.resolve_ewise_mult_op(), other, bind="first")
+            )
+        return EWiseMult(other, self)
+
+    def __invert__(self):
+        """``~C``: complement when used in mask position (Sec. III)."""
+        return Complemented(self)
+
+    def __iadd__(self, other):
+        """Plain ``C += expr``: in-place accumulate with the context
+        operator — shorthand for ``C[None] += expr``."""
+        self.__setitem__(None, AccumExpr(other))
+        return self
+
+    # ------------------------------------------------------------------
+    # subscript protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, key):
+        setkey = parse_mask_key(key)
+        if setkey is not None:
+            return MaskedView(self, setkey)
+        return self._extract(key)
+
+    def __setitem__(self, key, value):
+        accum = None
+        if isinstance(value, AccumExpr):
+            value = value.value
+            accum = operators.resolve_accum_op()
+        setkey = parse_mask_key(key)
+        if setkey is None:
+            self._assign(SetKey(), key, value, accum)
+        else:
+            self._set_masked(setkey, value, accum)
+
+    def _set_masked(self, setkey: SetKey, value, accum: str | None):
+        desc = build_desc(setkey, accum)
+        if isinstance(value, Expression):
+            value.eval_into(self, desc)
+        elif isinstance(value, TransposeView):
+            TransposeExpr(value.parent).eval_into(self, desc)
+        elif isinstance(value, Container):
+            # C[M] = A: identity-apply of A into C under the mask; also
+            # performs the dtype cast of `m[None] = graph` (Fig. 7 line 8)
+            Apply(value, operators.UnaryOp("Identity")).eval_into(self, desc)
+        elif _is_scalar(value):
+            # C[M] = s: masked constant fill over the whole container
+            self._assign(setkey, self._full_slice(), value, accum)
+        else:
+            raise InvalidValue(f"cannot assign object of type {type(value).__name__}")
+
+    # subclasses implement:
+    def _extract(self, key):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _assign(self, setkey: SetKey, index_key, value, accum=None):  # pragma: no cover
+        raise NotImplementedError
+
+    def _full_slice(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # comparisons for tests/debugging (not GraphBLAS operations)
+    # ------------------------------------------------------------------
+    def isequal(self, other) -> bool:
+        """Same shape, same stored pattern, equal stored values."""
+        if self.is_vector != getattr(other, "is_vector", None):
+            return False
+        mine, theirs = self._store, other._store
+        if self.is_vector:
+            if mine.size != theirs.size:
+                return False
+        elif mine.shape != theirs.shape:
+            return False
+        if mine.nvals != theirs.nvals:
+            return False
+        return self._store.to_dict() == other._store.to_dict()

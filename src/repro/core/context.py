@@ -1,0 +1,147 @@
+"""The operator context stack (paper Sec. IV).
+
+``with Semiring(PlusMonoid, "Times"): C = A @ B`` works by pushing the
+semiring onto a stack; when an operation later needs an operator it walks
+the stack from the innermost entry outward and takes the first object it
+can use ("an operation will use the corresponding operator with the
+highest precedence, i.e. lowest nested with block with a matching
+operator").
+
+The paper notes multi-threading would require one stack per thread; we
+store the stack in ``threading.local`` so each thread transparently gets
+its own, which is strictly more permissive than the paper's
+single-threaded assumption and costs nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = [
+    "push",
+    "pop",
+    "stack_snapshot",
+    "find",
+    "Replace",
+    "replace_active",
+    "use_engine",
+    "current_backend_engine",
+]
+
+_state = threading.local()
+
+
+def _stack() -> list:
+    try:
+        return _state.stack
+    except AttributeError:
+        _state.stack = []
+        return _state.stack
+
+
+def push(obj) -> None:
+    """Push an operator (or flag) for the duration of a ``with`` block."""
+    _stack().append(obj)
+
+
+def pop(obj) -> None:
+    """Pop *obj*; context managers unwind strictly LIFO, so *obj* must be
+    on top (a mismatch indicates interleaved, non-nested ``with`` blocks)."""
+    stack = _stack()
+    if not stack or stack[-1] is not obj:
+        raise RuntimeError(
+            "operator context stack corrupted: __exit__ out of LIFO order"
+        )
+    stack.pop()
+
+
+def stack_snapshot() -> tuple:
+    """The current stack, innermost last (for diagnostics and tests)."""
+    return tuple(_stack())
+
+
+def find(predicate):
+    """Innermost stack entry satisfying *predicate*, or None."""
+    for obj in reversed(_stack()):
+        if predicate(obj):
+            return obj
+    return None
+
+
+class _ReplaceFlag:
+    """The ``z`` (replace) output flag as a context manager.
+
+    ``with gb.LogicalSemiring, gb.Replace:`` (paper Fig. 2b) clears masked
+    output containers before assignment instead of merging.
+    """
+
+    def __enter__(self):
+        push(self)
+        return self
+
+    def __exit__(self, *exc):
+        pop(self)
+        return False
+
+    def __repr__(self) -> str:
+        return "Replace"
+
+
+Replace = _ReplaceFlag()
+
+
+def replace_active() -> bool:
+    """True when a ``with gb.Replace`` block encloses the call site."""
+    return find(lambda o: o is Replace) is not None
+
+
+# ----------------------------------------------------------------------
+# execution-engine selection (interpreted / Python JIT / C++ JIT)
+# ----------------------------------------------------------------------
+
+_engine_state = threading.local()
+
+
+def _default_engine_name() -> str:
+    return os.environ.get("PYGB_BACKEND", "pyjit")
+
+
+def current_backend_engine():
+    """The engine executing GraphBLAS operations for this thread.
+
+    Resolved lazily from ``$PYGB_BACKEND`` (``interpreted``, ``pyjit`` —
+    the default — or ``cpp``); override per-scope with :func:`use_engine`.
+    """
+    engine = getattr(_engine_state, "engine", None)
+    if engine is None:
+        from .dispatch import make_engine
+
+        engine = make_engine(_default_engine_name())
+        _engine_state.engine = engine
+    return engine
+
+
+class use_engine:
+    """Context manager (and direct setter) for the execution engine.
+
+    ``use_engine("cpp")`` switches permanently; ``with use_engine("cpp"):``
+    switches for a block.  Used by benchmarks to compare the paper's three
+    execution versions.
+    """
+
+    def __init__(self, name_or_engine):
+        from .dispatch import make_engine
+
+        self._previous = getattr(_engine_state, "engine", None)
+        if isinstance(name_or_engine, str):
+            _engine_state.engine = make_engine(name_or_engine)
+        else:
+            _engine_state.engine = name_or_engine
+
+    def __enter__(self):
+        return _engine_state.engine
+
+    def __exit__(self, *exc):
+        _engine_state.engine = self._previous
+        return False

@@ -1,0 +1,121 @@
+"""Execution-engine abstraction — the paper's Fig. 9 dispatch stage.
+
+Every DSL operation funnels through an *engine* exposing one method per
+GraphBLAS operation on backend containers.  Three engines implement the
+interface:
+
+``interpreted``
+    Calls :mod:`repro.backend.kernels` directly, resolving operator names
+    through the operator table on **every** call.  This is the "union
+    type / generic interpreter" design the paper rejects in Sec. V, kept
+    here as the ablation baseline.
+``pyjit``  (default)
+    The Fig. 9 pipeline with Python code generation: on first use of an
+    ``(operation, dtypes, operators, flags)`` combination a specialised
+    module is generated, written to the disk cache, and dynamically
+    imported; later calls hit the in-memory module cache.
+``cpp``
+    Identical pipeline, but the generated module is a C++ translation
+    unit compiled with ``g++`` against the bundled mini-GBTL header and
+    loaded through ``ctypes`` — the paper's actual design.
+"""
+
+from __future__ import annotations
+
+from ..backend import kernels as K
+from ..exceptions import BackendUnavailable
+
+__all__ = ["InterpretedEngine", "make_engine"]
+
+
+class InterpretedEngine:
+    """Direct kernel calls with per-call operator resolution (no JIT)."""
+
+    name = "interpreted"
+
+    # -- multiplication ------------------------------------------------
+    def mxm(self, out, a, b, add, mult, desc, ta=False, tb=False):
+        return K.mxm(out, a, b, add, mult, desc, ta, tb)
+
+    def mxv(self, out, a, u, add, mult, desc, ta=False):
+        return K.mxv(out, a, u, add, mult, desc, ta)
+
+    def vxm(self, out, u, a, add, mult, desc, ta=False):
+        return K.vxm(out, u, a, add, mult, desc, ta)
+
+    # -- elementwise ---------------------------------------------------
+    def ewise_add_mat(self, out, a, b, op, desc, ta=False, tb=False):
+        return K.ewise_add_mat(out, a, b, op, desc, ta, tb)
+
+    def ewise_add_vec(self, out, u, v, op, desc):
+        return K.ewise_add_vec(out, u, v, op, desc)
+
+    def ewise_mult_mat(self, out, a, b, op, desc, ta=False, tb=False):
+        return K.ewise_mult_mat(out, a, b, op, desc, ta, tb)
+
+    def ewise_mult_vec(self, out, u, v, op, desc):
+        return K.ewise_mult_vec(out, u, v, op, desc)
+
+    # -- apply / reduce / transpose -------------------------------------
+    def apply_mat(self, out, a, op_spec, desc, ta=False):
+        return K.apply_mat(out, a, op_spec, desc, ta)
+
+    def apply_vec(self, out, u, op_spec, desc):
+        return K.apply_vec(out, u, op_spec, desc)
+
+    def reduce_mat_scalar(self, a, op, identity):
+        return K.reduce_mat_scalar(a, op, identity)
+
+    def reduce_vec_scalar(self, u, op, identity):
+        return K.reduce_vec_scalar(u, op, identity)
+
+    def reduce_rows(self, out, a, op, desc, ta=False):
+        return K.reduce_rows(out, a, op, desc, ta)
+
+    def transpose(self, out, a, desc):
+        return K.transpose(out, a, desc)
+
+    def select_mat(self, out, a, op, thunk, desc, ta=False):
+        return K.select_mat(out, a, op, thunk, desc, ta)
+
+    def select_vec(self, out, u, op, thunk, desc):
+        return K.select_vec(out, u, op, thunk, desc)
+
+    def kronecker(self, out, a, b, op, desc, ta=False, tb=False):
+        return K.kronecker(out, a, b, op, desc, ta, tb)
+
+    # -- extract / assign ------------------------------------------------
+    def extract_mat(self, out, a, rows, cols, desc, ta=False):
+        return K.extract_mat(out, a, rows, cols, desc, ta)
+
+    def extract_vec(self, out, u, idx, desc):
+        return K.extract_vec(out, u, idx, desc)
+
+    def assign_mat(self, out, a, rows, cols, desc, ta=False):
+        return K.assign_mat(out, a, rows, cols, desc, ta)
+
+    def assign_vec(self, out, u, idx, desc):
+        return K.assign_vec(out, u, idx, desc)
+
+    def assign_mat_scalar(self, out, value, rows, cols, desc):
+        return K.assign_mat_scalar(out, value, rows, cols, desc)
+
+    def assign_vec_scalar(self, out, value, idx, desc):
+        return K.assign_vec_scalar(out, value, idx, desc)
+
+
+def make_engine(name: str):
+    """Instantiate an engine by name (``interpreted``, ``pyjit``, ``cpp``)."""
+    if name == "interpreted":
+        return InterpretedEngine()
+    if name == "pyjit":
+        from ..jit.pyengine import PyJitEngine
+
+        return PyJitEngine()
+    if name == "cpp":
+        from ..jit.cppengine import CppJitEngine
+
+        return CppJitEngine()
+    raise BackendUnavailable(
+        f"unknown engine {name!r}; valid: interpreted, pyjit, cpp"
+    )

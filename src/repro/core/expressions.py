@@ -1,0 +1,504 @@
+"""Deferred expression objects (paper Sec. IV, "PyGB uses deferred
+operator evaluation to enable the expression syntax without excessive
+copying of data").
+
+``A @ B`` does not compute anything: it returns an :class:`MXM` object
+wrapping the operands and the semiring captured from the enclosing
+``with`` block.  The expression is evaluated
+
+* inside ``C.__setitem__`` — directly into ``C`` with ``C``'s mask,
+  accumulator and replace flag, with no temporary container; or
+* by a *terminating operation*: any use that treats the expression like a
+  container (reading ``nvals``, combining it with another container,
+  reducing it, converting it) forces evaluation into a fresh container,
+  which is what plain ``C = A @ B`` yields.
+
+This is the runtime analog of C++ expression templates the paper draws
+the comparison to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backend.kernels import OpDesc
+from ..backend.ops_table import binary_result_dtype
+from . import operators
+from .context import current_backend_engine
+
+__all__ = [
+    "Expression",
+    "TransposeView",
+    "MXM",
+    "MXV",
+    "VXM",
+    "EWiseAdd",
+    "EWiseMult",
+    "Apply",
+    "ReduceRows",
+    "ExtractMat",
+    "ExtractVec",
+    "Select",
+    "Kronecker",
+    "TransposeExpr",
+]
+
+
+def _unwrap(operand):
+    """``(dsl_container, transpose_flag)`` for a container or its ``.T``."""
+    if isinstance(operand, TransposeView):
+        return operand.parent, True
+    return operand, False
+
+
+def _as_container(operand):
+    """Materialise expression operands (a terminating operation: combining
+    an expression with another container forces its evaluation)."""
+    if isinstance(operand, Expression):
+        return operand.new()
+    if isinstance(operand, TransposeView):
+        return operand  # resolved later via the transpose flag
+    return operand
+
+
+class Expression:
+    """Base class for all deferred operations."""
+
+    #: subclasses set: does this expression produce a Matrix or a Vector?
+    produces_matrix = True
+
+    def __init__(self):
+        self._materialized = None
+
+    # -- interface implemented by subclasses -----------------------------
+    def result_shape(self):
+        raise NotImplementedError
+
+    def result_dtype(self) -> np.dtype:
+        raise NotImplementedError
+
+    def eval_into(self, out, desc: OpDesc):
+        """Evaluate directly into DSL container *out* (no temporaries)."""
+        raise NotImplementedError
+
+    # -- materialisation --------------------------------------------------
+    def new(self, dtype=None):
+        """Force evaluation into a brand-new container (the behaviour of
+        plain ``C = A @ B``)."""
+        if self._materialized is not None and dtype is None:
+            return self._materialized
+        from .matrix import Matrix
+        from .vector import Vector
+
+        out_dtype = dtype if dtype is not None else self.result_dtype()
+        if self.produces_matrix:
+            out = Matrix(shape=self.result_shape(), dtype=out_dtype)
+        else:
+            out = Vector(shape=self.result_shape(), dtype=out_dtype)
+        self.eval_into(out, OpDesc())
+        if dtype is None:
+            self._materialized = out
+        return out
+
+    # -- terminating operations (treat the expression like a container) --
+    @property
+    def shape(self):
+        return self.new().shape
+
+    @property
+    def nvals(self):
+        return self.new().nvals
+
+    @property
+    def dtype(self):
+        return self.new().dtype
+
+    @property
+    def T(self):
+        return self.new().T
+
+    def __matmul__(self, other):
+        return self.new() @ other
+
+    def __rmatmul__(self, other):
+        return _as_container(other) @ self.new()
+
+    def __add__(self, other):
+        return self.new() + other
+
+    def __radd__(self, other):
+        return _as_container(other) + self.new()
+
+    def __mul__(self, other):
+        return self.new() * other
+
+    def __rmul__(self, other):
+        return _as_container(other) * self.new()
+
+    def __invert__(self):
+        return ~self.new()
+
+    def __getitem__(self, key):
+        return self.new()[key]
+
+    def to_numpy(self):
+        return self.new().to_numpy()
+
+
+class TransposeView:
+    """``A.T`` — a zero-copy view; materialised only when assigned
+    (``C[None] = A.T``) or combined outside a transposing operation."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self, parent):
+        self.parent = parent
+
+    @property
+    def T(self):
+        return self.parent
+
+    @property
+    def shape(self):
+        r, c = self.parent.shape
+        return (c, r)
+
+    @property
+    def dtype(self):
+        return self.parent.dtype
+
+    @property
+    def nvals(self):
+        return self.parent.nvals
+
+    def __matmul__(self, other):
+        other = _as_container(other)
+        if getattr(other, "is_vector", False):
+            return MXV(self, other)
+        return MXM(self, other)
+
+    def __rmatmul__(self, other):
+        other = _as_container(other)
+        if getattr(other, "is_vector", False):
+            return VXM(other, self)
+        return MXM(other, self)
+
+    def __add__(self, other):
+        return EWiseAdd(self, _as_container(other))
+
+    def __mul__(self, other):
+        return EWiseMult(self, _as_container(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.parent!r}.T"
+
+
+class MXM(Expression):
+    """``A ⊕.⊗ B`` — semiring captured at construction time."""
+
+    produces_matrix = True
+
+    def __init__(self, a, b, semiring=None):
+        super().__init__()
+        self.a, self.ta = _unwrap(_as_container(a))
+        self.b, self.tb = _unwrap(_as_container(b))
+        self.add_op, self.mult_op = operators.resolve_semiring(semiring)
+
+    def result_shape(self):
+        ar, ac = self.a.shape if not self.ta else self.a.shape[::-1]
+        br, bc = self.b.shape if not self.tb else self.b.shape[::-1]
+        return (ar, bc)
+
+    def result_dtype(self):
+        t = binary_result_dtype(self.mult_op, self.a.dtype, self.b.dtype)
+        return binary_result_dtype(self.add_op, t, t)
+
+    def eval_into(self, out, desc):
+        out._store = current_backend_engine().mxm(
+            out._store, self.a._store, self.b._store,
+            self.add_op, self.mult_op, desc, self.ta, self.tb,
+        )
+
+
+class MXV(Expression):
+    """``A ⊕.⊗ u``."""
+
+    produces_matrix = False
+
+    def __init__(self, a, u, semiring=None):
+        super().__init__()
+        self.a, self.ta = _unwrap(_as_container(a))
+        self.u = _as_container(u)
+        self.add_op, self.mult_op = operators.resolve_semiring(semiring)
+
+    def result_shape(self):
+        ar = self.a.shape[1] if self.ta else self.a.shape[0]
+        return (ar,)
+
+    def result_dtype(self):
+        t = binary_result_dtype(self.mult_op, self.a.dtype, self.u.dtype)
+        return binary_result_dtype(self.add_op, t, t)
+
+    def eval_into(self, out, desc):
+        out._store = current_backend_engine().mxv(
+            out._store, self.a._store, self.u._store,
+            self.add_op, self.mult_op, desc, self.ta,
+        )
+
+
+class VXM(Expression):
+    """``u ⊕.⊗ A`` — a row vector times a matrix (PageRank's
+    ``page_rank @ m``)."""
+
+    produces_matrix = False
+
+    def __init__(self, u, a, semiring=None):
+        super().__init__()
+        self.u = _as_container(u)
+        self.a, self.ta = _unwrap(_as_container(a))
+        self.add_op, self.mult_op = operators.resolve_semiring(semiring)
+
+    def result_shape(self):
+        ac = self.a.shape[0] if self.ta else self.a.shape[1]
+        return (ac,)
+
+    def result_dtype(self):
+        t = binary_result_dtype(self.mult_op, self.u.dtype, self.a.dtype)
+        return binary_result_dtype(self.add_op, t, t)
+
+    def eval_into(self, out, desc):
+        out._store = current_backend_engine().vxm(
+            out._store, self.u._store, self.a._store,
+            self.add_op, self.mult_op, desc, self.ta,
+        )
+
+
+class _EWise(Expression):
+    resolve = None  # set by subclasses
+    engine_mat = ""
+    engine_vec = ""
+
+    def __init__(self, a, b, op=None):
+        super().__init__()
+        a = _as_container(a)
+        b = _as_container(b)
+        self.a, self.ta = _unwrap(a)
+        self.b, self.tb = _unwrap(b)
+        self.op = type(self).resolve(op)
+        self.produces_matrix = not getattr(self.a, "is_vector", False)
+
+    def result_shape(self):
+        if self.produces_matrix and self.ta:
+            return self.a.shape[::-1]
+        return self.a.shape
+
+    def result_dtype(self):
+        return binary_result_dtype(self.op, self.a.dtype, self.b.dtype)
+
+    def eval_into(self, out, desc):
+        eng = current_backend_engine()
+        if self.produces_matrix:
+            out._store = getattr(eng, self.engine_mat)(
+                out._store, self.a._store, self.b._store, self.op, desc,
+                self.ta, self.tb,
+            )
+        else:
+            out._store = getattr(eng, self.engine_vec)(
+                out._store, self.a._store, self.b._store, self.op, desc
+            )
+
+
+class EWiseAdd(_EWise):
+    """``A ⊕ B`` / ``u ⊕ v`` — union structure (``+`` operator)."""
+
+    resolve = staticmethod(operators.resolve_ewise_add_op)
+    engine_mat = "ewise_add_mat"
+    engine_vec = "ewise_add_vec"
+
+
+class EWiseMult(_EWise):
+    """``A ⊗ B`` / ``u ⊗ v`` — intersection structure (``*`` operator)."""
+
+    resolve = staticmethod(operators.resolve_ewise_mult_op)
+    engine_mat = "ewise_mult_mat"
+    engine_vec = "ewise_mult_vec"
+
+
+class Apply(Expression):
+    """``fᵤ(A)`` — unary operator captured from context or given
+    explicitly (``gb.apply``)."""
+
+    def __init__(self, a, op=None):
+        super().__init__()
+        a = _as_container(a)
+        self.a, self.ta = _unwrap(a)
+        self.op_spec = operators.resolve_unary_spec(op)
+        self.produces_matrix = not getattr(self.a, "is_vector", False)
+
+    def result_shape(self):
+        if self.produces_matrix and self.ta:
+            return self.a.shape[::-1]
+        return self.a.shape
+
+    def result_dtype(self):
+        if self.op_spec[0] == "bind":
+            const = np.asarray(self.op_spec[2])
+            return binary_result_dtype(self.op_spec[1], self.a.dtype, const.dtype)
+        if self.op_spec[1] == "LogicalNot":
+            return np.dtype(np.bool_)
+        return self.a.dtype
+
+    def eval_into(self, out, desc):
+        eng = current_backend_engine()
+        if self.produces_matrix:
+            out._store = eng.apply_mat(out._store, self.a._store, self.op_spec, desc, self.ta)
+        else:
+            out._store = eng.apply_vec(out._store, self.a._store, self.op_spec, desc)
+
+
+class ReduceRows(Expression):
+    """``[⊕ⱼ A(:, j)]`` — row-wise monoid reduction to a vector."""
+
+    produces_matrix = False
+
+    def __init__(self, a, monoid=None):
+        super().__init__()
+        a = _as_container(a)
+        self.a, self.ta = _unwrap(a)
+        self.op, self.identity = operators.resolve_reduce_monoid(monoid)
+
+    def result_shape(self):
+        return (self.a.shape[1] if self.ta else self.a.shape[0],)
+
+    def result_dtype(self):
+        return self.a.dtype
+
+    def eval_into(self, out, desc):
+        out._store = current_backend_engine().reduce_rows(
+            out._store, self.a._store, self.op, desc, self.ta
+        )
+
+
+class ExtractMat(Expression):
+    """``A(i, j)`` as a sub-matrix."""
+
+    produces_matrix = True
+
+    def __init__(self, a, rows, cols, ta=False):
+        super().__init__()
+        self.a = a
+        self.rows = rows
+        self.cols = cols
+        self.ta = ta
+
+    def result_shape(self):
+        return (self.rows.size, self.cols.size)
+
+    def result_dtype(self):
+        return self.a.dtype
+
+    def eval_into(self, out, desc):
+        out._store = current_backend_engine().extract_mat(
+            out._store, self.a._store, self.rows, self.cols, desc, self.ta
+        )
+
+
+class ExtractVec(Expression):
+    """``u(i)`` — also covers row/column extraction from a matrix, which
+    the containers lower to an index list over the (possibly transposed)
+    matrix before building this expression."""
+
+    produces_matrix = False
+
+    def __init__(self, source_vec_store_fn, size, indices):
+        super().__init__()
+        self._store_fn = source_vec_store_fn
+        self._size = size
+        self.indices = indices
+
+    def result_shape(self):
+        return (self.indices.size,)
+
+    def result_dtype(self):
+        return self._store_fn().dtype
+
+    def eval_into(self, out, desc):
+        out._store = current_backend_engine().extract_vec(
+            out._store, self._store_fn(), self.indices, desc
+        )
+
+
+class Select(Expression):
+    """``select(op, A, k)`` — keep stored entries satisfying a positional
+    or value predicate (``GrB_select``)."""
+
+    def __init__(self, a, op, thunk=0):
+        super().__init__()
+        a = _as_container(a)
+        self.a, self.ta = _unwrap(a)
+        self.op = op
+        self.thunk = thunk
+        self.produces_matrix = not getattr(self.a, "is_vector", False)
+
+    def result_shape(self):
+        if self.produces_matrix and self.ta:
+            return self.a.shape[::-1]
+        return self.a.shape
+
+    def result_dtype(self):
+        return self.a.dtype
+
+    def eval_into(self, out, desc):
+        eng = current_backend_engine()
+        if self.produces_matrix:
+            out._store = eng.select_mat(
+                out._store, self.a._store, self.op, self.thunk, desc, self.ta
+            )
+        else:
+            out._store = eng.select_vec(
+                out._store, self.a._store, self.op, self.thunk, desc
+            )
+
+
+class Kronecker(Expression):
+    """``kron(A, B)`` over a binary ``⊗`` (``GrB_kronecker``)."""
+
+    produces_matrix = True
+
+    def __init__(self, a, b, op=None):
+        super().__init__()
+        self.a, self.ta = _unwrap(_as_container(a))
+        self.b, self.tb = _unwrap(_as_container(b))
+        self.op = operators.resolve_ewise_mult_op(op)
+
+    def result_shape(self):
+        ar, ac = self.a.shape if not self.ta else self.a.shape[::-1]
+        br, bc = self.b.shape if not self.tb else self.b.shape[::-1]
+        return (ar * br, ac * bc)
+
+    def result_dtype(self):
+        return binary_result_dtype(self.op, self.a.dtype, self.b.dtype)
+
+    def eval_into(self, out, desc):
+        out._store = current_backend_engine().kronecker(
+            out._store, self.a._store, self.b._store, self.op, desc, self.ta, self.tb
+        )
+
+
+class TransposeExpr(Expression):
+    """``Aᵀ`` in assignment position: ``C[M] = A.T``."""
+
+    produces_matrix = True
+
+    def __init__(self, a):
+        super().__init__()
+        self.a = a
+
+    def result_shape(self):
+        return self.a.shape[::-1]
+
+    def result_dtype(self):
+        return self.a.dtype
+
+    def eval_into(self, out, desc):
+        out._store = current_backend_engine().transpose(out._store, self.a._store, desc)

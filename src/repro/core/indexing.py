@@ -1,0 +1,65 @@
+"""Index normalisation for extract/assign subscripts.
+
+Translates Python's indexing vocabulary (ints, slices, lists, ranges,
+NumPy arrays) into the explicit int64 index lists the backend kernels
+consume, and classifies the result shape (scalar / row / column /
+sub-matrix) the way Table I's extract rows imply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidValue
+
+__all__ = ["normalize_index", "parse_matrix_indices", "parse_vector_index"]
+
+
+def normalize_index(ix, dim: int) -> np.ndarray:
+    """A single axis subscript -> explicit int64 index array."""
+    if isinstance(ix, slice):
+        return np.arange(*ix.indices(dim), dtype=np.int64)
+    if isinstance(ix, (int, np.integer)):
+        i = int(ix)
+        if i < 0:
+            i += dim
+        return np.array([i], dtype=np.int64)
+    arr = np.asarray(ix)
+    if arr.dtype == bool:
+        raise InvalidValue(
+            "boolean arrays are not valid indices; use a container as a mask"
+        )
+    arr = arr.astype(np.int64).ravel()
+    arr = np.where(arr < 0, arr + dim, arr)
+    return arr
+
+
+def parse_matrix_indices(key, shape: tuple[int, int]):
+    """``(rows, cols, kind)`` where kind is how the result collapses:
+    ``"scalar"`` (two ints), ``"row"``/``"col"`` (one int, one list), or
+    ``"mat"``."""
+    if not isinstance(key, tuple) or len(key) != 2:
+        raise InvalidValue(
+            f"matrix subscripts need a (row, column) pair, got {key!r}"
+        )
+    ri, ci = key
+    r_scalar = isinstance(ri, (int, np.integer))
+    c_scalar = isinstance(ci, (int, np.integer))
+    rows = normalize_index(ri, shape[0])
+    cols = normalize_index(ci, shape[1])
+    if r_scalar and c_scalar:
+        kind = "scalar"
+    elif r_scalar:
+        kind = "row"
+    elif c_scalar:
+        kind = "col"
+    else:
+        kind = "mat"
+    return rows, cols, kind
+
+
+def parse_vector_index(key, size: int):
+    """``(indices, kind)`` with kind ``"scalar"`` or ``"vec"``."""
+    scalar = isinstance(key, (int, np.integer))
+    idx = normalize_index(key, size)
+    return idx, ("scalar" if scalar else "vec")

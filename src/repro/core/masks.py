@@ -1,0 +1,137 @@
+"""Masks, masked views and the ``+=`` accumulate marker.
+
+This module implements the square-bracket write syntax of Table I:
+
+* ``C[None] = expr`` — NoMask in-place update (container reuse, Sec. IV);
+* ``C[M] = expr`` — value mask (mask data "coerced to boolean values");
+* ``C[~M] = expr`` — complemented mask via Python's ``~`` operator;
+* ``C[M, True] = expr`` — explicit replace flag ``z`` as in ``C⟨M, z⟩``;
+* ``C[None] += expr`` — accumulate (``⊙``) through ``__iadd__``;
+* ``levels[front][:] = depth`` — masked constant assignment via a
+  :class:`MaskedView`;
+* ``C[M][i, j] = A`` — masked sub-assign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backend.kernels import OpDesc
+from ..exceptions import InvalidValue
+from . import context
+
+__all__ = ["Complemented", "MaskedView", "AccumExpr", "SetKey", "parse_mask_key", "build_desc"]
+
+
+class Complemented:
+    """A complemented mask: ``~M``.  Only meaningful in mask position."""
+
+    __slots__ = ("container",)
+
+    def __init__(self, container):
+        self.container = container
+
+    def __invert__(self):
+        return self.container
+
+    def __repr__(self) -> str:
+        return f"~{self.container!r}"
+
+
+class AccumExpr:
+    """Marker produced by ``__iadd__`` on containers and masked views so
+    the subsequent ``__setitem__`` knows to bind an accumulate operator."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class SetKey:
+    """Parsed form of a square-bracket key on the write side."""
+
+    __slots__ = ("mask", "complement", "replace", "indices")
+
+    def __init__(self, mask=None, complement=False, replace=None, indices=None):
+        self.mask = mask  #: DSL container used as mask, or None
+        self.complement = complement
+        self.replace = replace  #: explicit bool, or None -> from context
+        self.indices = indices  #: raw index tuple for assign, or None
+
+    def resolved_replace(self) -> bool:
+        if self.replace is not None:
+            return self.replace
+        return context.replace_active()
+
+
+def _is_container(obj) -> bool:
+    # late import breaks the container<->mask cycle
+    from .base import Container
+
+    return isinstance(obj, Container)
+
+
+def _is_indexish(obj) -> bool:
+    return isinstance(obj, (int, np.integer, slice, list, np.ndarray, range))
+
+
+def parse_mask_key(key) -> SetKey | None:
+    """Interpret *key* as a mask key (None / container / ~container /
+    ``(mask, replace)``); return None when it is an index key instead."""
+    if key is None:
+        return SetKey(mask=None)
+    if _is_container(key):
+        return SetKey(mask=key)
+    if isinstance(key, Complemented):
+        return SetKey(mask=key.container, complement=True)
+    if isinstance(key, tuple) and len(key) == 2 and isinstance(key[1], bool):
+        first = key[0]
+        if first is None:
+            return SetKey(mask=None, replace=key[1])
+        if _is_container(first):
+            return SetKey(mask=first, replace=key[1])
+        if isinstance(first, Complemented):
+            return SetKey(mask=first.container, complement=True, replace=key[1])
+    if _is_indexish(key):
+        return None
+    if isinstance(key, tuple) and all(_is_indexish(k) for k in key):
+        return None
+    raise InvalidValue(f"cannot interpret subscript key {key!r}")
+
+
+def build_desc(setkey: SetKey, accum: str | None = None) -> OpDesc:
+    """Backend operation descriptor from a parsed key + accumulate op."""
+    mask_store = setkey.mask._store if setkey.mask is not None else None
+    return OpDesc(
+        mask=mask_store,
+        complement=setkey.complement,
+        replace=setkey.resolved_replace(),
+        accum=accum,
+    )
+
+
+class MaskedView:
+    """The object returned by ``C[M]`` (and ``C[None]``): a deferred
+    masked write target.
+
+    Reading through a view is intentionally unsupported — GraphBLAS masks
+    only govern writes; ``C[M]`` by itself has no value.
+    """
+
+    __slots__ = ("container", "setkey")
+
+    def __init__(self, container, setkey: SetKey):
+        self.container = container
+        self.setkey = setkey
+
+    def __iadd__(self, value):
+        return AccumExpr(value)
+
+    def __setitem__(self, index_key, value):
+        """``C[M][i, j] = A`` / ``levels[front][:] = depth`` — a masked
+        assign into the addressed region."""
+        self.container._assign(self.setkey, index_key, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MaskedView({self.container!r}, mask={self.setkey.mask!r})"

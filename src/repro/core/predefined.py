@@ -1,0 +1,56 @@
+"""Predefined monoids and semirings matching GBTL's ``algebra.hpp``.
+
+These are ordinary :class:`~repro.core.operators.Monoid` /
+:class:`~repro.core.operators.Semiring` instances, usable both explicitly
+and as context managers (``with gb.LogicalSemiring: ...``), exactly as in
+the paper's BFS/SSSP/triangle-count listings.
+"""
+
+from __future__ import annotations
+
+from .operators import Monoid, Semiring
+
+__all__ = [
+    "PlusMonoid",
+    "TimesMonoid",
+    "MinMonoid",
+    "MaxMonoid",
+    "LogicalOrMonoid",
+    "LogicalAndMonoid",
+    "LogicalXorMonoid",
+    "ArithmeticSemiring",
+    "LogicalSemiring",
+    "MinPlusSemiring",
+    "MaxPlusSemiring",
+    "MinTimesSemiring",
+    "MaxTimesSemiring",
+    "MinSelect1stSemiring",
+    "MinSelect2ndSemiring",
+    "MaxSelect1stSemiring",
+    "MaxSelect2ndSemiring",
+]
+
+# -- monoids -----------------------------------------------------------
+PlusMonoid = Monoid("Plus", "PlusIdentity")
+TimesMonoid = Monoid("Times", "TimesIdentity")
+MinMonoid = Monoid("Min", "MinIdentity")
+MaxMonoid = Monoid("Max", "MaxIdentity")
+LogicalOrMonoid = Monoid("LogicalOr", "LogicalOrIdentity")
+LogicalAndMonoid = Monoid("LogicalAnd", "LogicalAndIdentity")
+LogicalXorMonoid = Monoid("LogicalXor", "LogicalXorIdentity")
+
+# -- semirings ---------------------------------------------------------
+#: the conventional (+, ×) semiring of linear algebra
+ArithmeticSemiring = Semiring(PlusMonoid, "Times")
+#: the (∨, ∧) Boolean semiring used by BFS (Fig. 2)
+LogicalSemiring = Semiring(LogicalOrMonoid, "LogicalAnd")
+#: the tropical (min, +) semiring used by SSSP (Fig. 4)
+MinPlusSemiring = Semiring(MinMonoid, "Plus")
+MaxPlusSemiring = Semiring(MaxMonoid, "Plus")
+MinTimesSemiring = Semiring(MinMonoid, "Times")
+MaxTimesSemiring = Semiring(MaxMonoid, "Times")
+#: select semirings: ⊗ keeps one operand (used by e.g. MSSP variants)
+MinSelect1stSemiring = Semiring(MinMonoid, "First")
+MinSelect2ndSemiring = Semiring(MinMonoid, "Second")
+MaxSelect1stSemiring = Semiring(MaxMonoid, "First")
+MaxSelect2ndSemiring = Semiring(MaxMonoid, "Second")

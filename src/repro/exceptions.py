@@ -1,0 +1,50 @@
+"""Exception hierarchy for PyGB.
+
+Mirrors the error classes implied by the GraphBLAS C API specification
+(dimension mismatch, domain mismatch, invalid values) plus errors specific
+to the dynamic-compilation pipeline of the paper (Sec. V).
+"""
+
+from __future__ import annotations
+
+
+class GraphBLASError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DimensionMismatch(GraphBLASError):
+    """Operand shapes are incompatible for the requested operation."""
+
+
+class DomainMismatch(GraphBLASError):
+    """Operand dtypes cannot be promoted to a common domain."""
+
+
+class InvalidValue(GraphBLASError):
+    """An argument value is outside its permitted range (e.g. bad index)."""
+
+
+class IndexOutOfBounds(InvalidValue):
+    """A row/column index exceeds the container dimensions."""
+
+
+class EmptyObject(GraphBLASError):
+    """An operation required a stored value that is not present."""
+
+
+class NoOperatorInContext(GraphBLASError):
+    """An operation needed an operator but none was found on the context
+    stack and none was supplied explicitly (Sec. IV of the paper)."""
+
+
+class UnknownOperator(GraphBLASError):
+    """An operator name is not in the GBTL operator table (Fig. 6)."""
+
+
+class CompilationError(GraphBLASError):
+    """The JIT backend failed to compile a generated module (Sec. V)."""
+
+
+class BackendUnavailable(GraphBLASError):
+    """The requested execution backend (e.g. ``cpp``) cannot be used on
+    this machine (no compiler found)."""

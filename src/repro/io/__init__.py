@@ -1,0 +1,33 @@
+"""Input/output and workload generation.
+
+* :mod:`~repro.io.matrixmarket` — MatrixMarket coordinate files (the
+  read-matrix-from-disk path measured in the paper's Fig. 11);
+* :mod:`~repro.io.generators` — synthetic graphs, foremost the
+  Erdős–Rényi family with ``|E| = |V|^1.5`` used throughout Fig. 10;
+* :mod:`~repro.io.convert` — NumPy / SciPy / NetworkX adapters (Fig. 3b).
+"""
+
+from .matrixmarket import mmread, mmwrite
+from .fastload import mmread_fast, fast_loader_available
+from .generators import erdos_renyi, ring_graph, grid_graph, scale_free
+from .convert import (
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+
+__all__ = [
+    "mmread",
+    "mmwrite",
+    "mmread_fast",
+    "fast_loader_available",
+    "erdos_renyi",
+    "ring_graph",
+    "grid_graph",
+    "scale_free",
+    "from_networkx",
+    "from_scipy_sparse",
+    "to_networkx",
+    "to_scipy_sparse",
+]

@@ -1,0 +1,82 @@
+"""Adapters between PyGB containers and the Python scientific stack
+(paper Sec. III: "Containers can also be constructed from NumPy arrays,
+SciPy.sparse matrices, and NetworkX graphs").
+
+Conversion copies the data, matching the paper's current behaviour
+("PyGB currently performs a data copy at construction").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "networkx_to_coo",
+    "from_networkx",
+    "from_scipy_sparse",
+    "to_networkx",
+    "to_scipy_sparse",
+]
+
+
+def networkx_to_coo(graph):
+    """``(nrows, ncols, rows, cols, vals)`` from a NetworkX graph.
+
+    Edge weights come from the ``weight`` attribute (default 1);
+    undirected graphs contribute both orientations, matching
+    ``networkx.adjacency_matrix``.
+    """
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    rows, cols, vals = [], [], []
+    directed = graph.is_directed()
+    for u, v, data in graph.edges(data=True):
+        w = data.get("weight", 1)
+        rows.append(index[u])
+        cols.append(index[v])
+        vals.append(w)
+        if not directed and u != v:
+            rows.append(index[v])
+            cols.append(index[u])
+            vals.append(w)
+    n = len(nodes)
+    return n, n, np.asarray(rows), np.asarray(cols), np.asarray(vals)
+
+
+def from_networkx(graph, dtype=None):
+    """Adjacency :class:`~repro.core.matrix.Matrix` of a NetworkX graph."""
+    from ..core.matrix import Matrix
+
+    return Matrix(graph, dtype=dtype)
+
+
+def from_scipy_sparse(sp_matrix, dtype=None):
+    """:class:`~repro.core.matrix.Matrix` from any SciPy sparse format."""
+    from ..core.matrix import Matrix
+
+    return Matrix(sp_matrix, dtype=dtype)
+
+
+def to_scipy_sparse(matrix):
+    """CSR ``scipy.sparse`` copy of a PyGB Matrix."""
+    import scipy.sparse as sp
+
+    store = matrix._store
+    return sp.csr_matrix(
+        (store.values.copy(), store.indices.copy(), store.indptr.copy()),
+        shape=store.shape,
+    )
+
+
+def to_networkx(matrix, directed: bool = True):
+    """NetworkX graph whose weighted edges are the stored entries."""
+    import networkx as nx
+
+    g = nx.DiGraph() if directed else nx.Graph()
+    g.add_nodes_from(range(matrix.nrows))
+    rows, cols, vals = matrix.to_coo()
+    g.add_weighted_edges_from(
+        (int(i), int(j), v.item() if hasattr(v, "item") else v)
+        for i, j, v in zip(rows, cols, vals)
+    )
+    return g

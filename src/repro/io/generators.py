@@ -1,0 +1,157 @@
+"""Synthetic graph generators for the evaluation workloads.
+
+The paper's Fig. 10/11 experiments run on Erdős–Rényi graphs "with
+density |E| = O(|V|^1.5)"; :func:`erdos_renyi` reproduces exactly that
+family.  The extra generators cover the example applications (road-like
+grids, rings, and a preferential-attachment web graph for PageRank).
+
+All generators are deterministic under a given seed and return
+``(rows, cols, values)`` COO arrays plus helpers that wrap them in a DSL
+:class:`~repro.core.matrix.Matrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "erdos_renyi_coo",
+    "erdos_renyi",
+    "ring_graph",
+    "grid_graph",
+    "scale_free",
+]
+
+
+def erdos_renyi_coo(
+    nodes: int,
+    nedges: int | None = None,
+    seed: int = 0,
+    weighted: bool = False,
+    self_loops: bool = False,
+):
+    """COO arrays of a directed G(n, m) graph.
+
+    With *nedges* omitted, ``m = round(n ** 1.5)`` — the paper's density.
+    Duplicate edges are discarded and re-drawn, so exactly *nedges*
+    distinct edges result (when the graph can hold them).
+    """
+    rng = np.random.default_rng(seed)
+    if nedges is None:
+        nedges = int(round(nodes**1.5))
+    capacity = nodes * nodes - (0 if self_loops else nodes)
+    nedges = min(nedges, capacity)
+    chosen = np.empty(0, dtype=np.int64)
+    while chosen.size < nedges:
+        need = nedges - chosen.size
+        flat = rng.integers(0, nodes * nodes, size=int(need * 1.2) + 8, dtype=np.int64)
+        if not self_loops:
+            flat = flat[flat // nodes != flat % nodes]
+        chosen = np.unique(np.concatenate([chosen, flat]))
+    if chosen.size > nedges:
+        chosen = rng.choice(chosen, size=nedges, replace=False)
+        chosen.sort()
+    rows, cols = chosen // nodes, chosen % nodes
+    if weighted:
+        vals = rng.uniform(1.0, 10.0, size=rows.size)
+    else:
+        vals = np.ones(rows.size, dtype=np.int64)
+    return rows, cols, vals
+
+
+def erdos_renyi(
+    nodes: int,
+    nedges: int | None = None,
+    seed: int = 0,
+    weighted: bool = False,
+    dtype=None,
+):
+    """Erdős–Rényi graph as a DSL Matrix (``|E| = |V|^1.5`` by default)."""
+    from ..core.matrix import Matrix
+
+    rows, cols, vals = erdos_renyi_coo(nodes, nedges, seed, weighted)
+    return Matrix((vals, (rows, cols)), shape=(nodes, nodes), dtype=dtype)
+
+
+def ring_graph(nodes: int, weighted: bool = False, seed: int = 0, dtype=None):
+    """A directed cycle 0→1→…→n-1→0 (worst case for BFS depth)."""
+    from ..core.matrix import Matrix
+
+    rows = np.arange(nodes, dtype=np.int64)
+    cols = (rows + 1) % nodes
+    if weighted:
+        vals = np.random.default_rng(seed).uniform(1.0, 10.0, size=nodes)
+    else:
+        vals = np.ones(nodes, dtype=np.int64)
+    return Matrix((vals, (rows, cols)), shape=(nodes, nodes), dtype=dtype)
+
+
+def grid_graph(side: int, weighted: bool = False, seed: int = 0, dtype=None):
+    """A 4-neighbour ``side × side`` grid, both edge orientations — the
+    road-network-like workload of the SSSP example."""
+    from ..core.matrix import Matrix
+
+    n = side * side
+    ids = np.arange(n, dtype=np.int64).reshape(side, side)
+    right_src = ids[:, :-1].ravel()
+    right_dst = ids[:, 1:].ravel()
+    down_src = ids[:-1, :].ravel()
+    down_dst = ids[1:, :].ravel()
+    rows = np.concatenate([right_src, right_dst, down_src, down_dst])
+    cols = np.concatenate([right_dst, right_src, down_dst, down_src])
+    if weighted:
+        rng = np.random.default_rng(seed)
+        half = rng.uniform(1.0, 10.0, size=right_src.size + down_src.size)
+        # symmetric weights: both orientations of an edge share a value
+        vals = np.concatenate(
+            [half[: right_src.size], half[: right_src.size],
+             half[right_src.size:], half[right_src.size:]]
+        )
+    else:
+        vals = np.ones(rows.size, dtype=np.int64)
+    return Matrix((vals, (rows, cols)), shape=(n, n), dtype=dtype)
+
+
+def scale_free(
+    nodes: int, out_degree: int = 4, seed: int = 0, dtype=None
+):
+    """A preferential-attachment (Barabási–Albert-flavoured) digraph for
+    the PageRank example: node ``t`` links to *out_degree* earlier nodes
+    sampled proportionally to in-degree-so-far plus one.
+
+    A directed ring 0→1→…→n-1→0 is superimposed so every vertex has both
+    an in-edge and an out-edge.  The power iteration of the paper's
+    Fig. 7 assumes exactly this (its ``Second``-accumulated ``vxm`` keeps
+    stale rank for in-edge-free vertices and drops the mass of
+    out-edge-free ones); the paper's Erdős–Rényi workloads satisfy the
+    assumption with high probability, and the ring keeps it deterministic.
+    """
+    from ..core.matrix import Matrix
+
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    weights = np.ones(nodes, dtype=np.float64)
+    start = max(out_degree, 1)
+    for t in range(start, nodes):
+        p = weights[:t] / weights[:t].sum()
+        targets = rng.choice(t, size=min(out_degree, t), replace=False, p=p)
+        for j in targets:
+            rows.append(t)
+            cols.append(int(j))
+            weights[j] += 1.0
+    # seed edges: a small clique among the first nodes keeps them reachable
+    for i in range(start):
+        for j in range(start):
+            if i != j:
+                rows.append(i)
+                cols.append(j)
+    # ring backbone: guarantees one in- and one out-edge per vertex
+    for i in range(nodes):
+        j = (i + 1) % nodes
+        if i != j:
+            rows.append(i)
+            cols.append(j)
+    vals = np.ones(len(rows), dtype=np.int64)
+    return Matrix(
+        (vals, (np.asarray(rows), np.asarray(cols))), shape=(nodes, nodes), dtype=dtype
+    )

@@ -1,0 +1,184 @@
+"""Module retrieval: memory cache → disk cache → compile (paper Fig. 9).
+
+The paper's ``get_module`` checks an in-memory dict, then the filesystem,
+and only then invokes the compiler; compiled binaries persist on disk so
+"the cost of compiling the code can be amortized over future runs of the
+same code".  :class:`JitCache` reproduces that lookup order for both the
+Python and the C++ code generators and counts every outcome, which is
+what the compilation-time experiment (EXPERIMENTS.md) reports.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import CompilationError
+from .spec import KernelSpec
+
+__all__ = [
+    "CacheStatistics",
+    "JitCache",
+    "default_cache",
+    "cache_statistics",
+    "clear_memory_cache",
+]
+
+
+@dataclass
+class CacheStatistics:
+    """Counters for the three lookup outcomes plus time spent compiling."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    compiles: int = 0
+    generate_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    import_seconds: float = 0.0
+    per_func: dict = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "compiles": self.compiles,
+            "generate_seconds": self.generate_seconds,
+            "compile_seconds": self.compile_seconds,
+            "import_seconds": self.import_seconds,
+            "per_func": dict(self.per_func),
+        }
+
+    def reset(self) -> None:
+        self.memory_hits = self.disk_hits = self.compiles = 0
+        self.generate_seconds = self.compile_seconds = self.import_seconds = 0.0
+        self.per_func.clear()
+
+
+def _default_cache_dir() -> Path:
+    env = os.environ.get("PYGB_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "pygb"
+
+
+class JitCache:
+    """Memory → disk → compile module store, safe under threads.
+
+    Writers produce the artifact under a temporary name and ``os.replace``
+    it into place, so concurrent processes racing to compile the same spec
+    each end up importing a complete file.
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else _default_cache_dir()
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStatistics()
+        self._modules: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def get_module(self, spec: KernelSpec, generate, suffix: str = ".py", compiler=None):
+        """The paper's ``get_module``: return the loaded module for
+        *spec*, generating (and optionally *compiler*-ing) it on a miss.
+
+        ``generate(spec) -> str`` produces source text; for C++ specs
+        ``compiler(src_path, out_path)`` turns it into a shared object and
+        the import step is replaced by the engine's ``ctypes`` loader
+        (in which case the returned object is whatever *compiler* loads).
+        """
+        # the same spec may exist as a Python module AND a compiled shared
+        # object (the engines share one cache), so the artifact kind is
+        # part of the memory key
+        kind = ".so" if compiler else suffix
+        key = (spec.key_hash, kind)
+        with self._lock:
+            mod = self._modules.get(key)
+            if mod is not None:
+                self.stats.memory_hits += 1
+                return mod
+            artifact = self.cache_dir / f"{spec.module_stem}{kind}"
+            if artifact.exists():
+                self.stats.disk_hits += 1
+            else:
+                t0 = time.perf_counter()
+                source = generate(spec)
+                self.stats.generate_seconds += time.perf_counter() - t0
+                src_path = self.cache_dir / f"{spec.module_stem}{suffix}"
+                self._atomic_write(src_path, source)
+                if compiler is not None:
+                    t0 = time.perf_counter()
+                    compiler(src_path, artifact)
+                    self.stats.compile_seconds += time.perf_counter() - t0
+                self.stats.compiles += 1
+                self.stats.per_func[spec.func] = self.stats.per_func.get(spec.func, 0) + 1
+            t0 = time.perf_counter()
+            if compiler is not None:
+                mod = artifact  # engines wrap the .so path in ctypes themselves
+            else:
+                mod = self._import_py(artifact, spec)
+            self.stats.import_seconds += time.perf_counter() - t0
+            self._modules[key] = mod
+            return mod
+
+    # ------------------------------------------------------------------
+    def _atomic_write(self, path: Path, text: str) -> None:
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    def _import_py(self, path: Path, spec: KernelSpec):
+        name = f"_pygb_jit.{spec.module_stem}"
+        loader_spec = importlib.util.spec_from_file_location(name, path)
+        if loader_spec is None or loader_spec.loader is None:
+            raise CompilationError(f"cannot import generated module {path}")
+        module = importlib.util.module_from_spec(loader_spec)
+        sys.modules[name] = module
+        try:
+            loader_spec.loader.exec_module(module)
+        except Exception as exc:  # surface codegen bugs with the file kept
+            raise CompilationError(
+                f"generated module {path} failed to import: {exc}"
+            ) from exc
+        return module
+
+    def clear_memory(self) -> None:
+        """Forget loaded modules (disk artifacts stay — next lookup is a
+        disk hit; used by the compilation-time benchmarks)."""
+        with self._lock:
+            self._modules.clear()
+
+    def clear_disk(self) -> None:
+        """Delete every cached artifact of this cache directory."""
+        with self._lock:
+            for p in self.cache_dir.glob("pygb_*"):
+                p.unlink(missing_ok=True)
+            self._modules.clear()
+
+
+_default: JitCache | None = None
+_default_lock = threading.Lock()
+
+
+def default_cache() -> JitCache:
+    """The process-wide cache shared by all JIT engines."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = JitCache()
+        return _default
+
+
+def cache_statistics() -> dict:
+    """Snapshot of the default cache's counters."""
+    return default_cache().stats.snapshot()
+
+
+def clear_memory_cache() -> None:
+    default_cache().clear_memory()

@@ -1,0 +1,539 @@
+"""The ``cpp`` execution engine: dynamic compilation into C++ (the
+paper's actual design).
+
+On the first use of an ``(operation, dtypes, operators, flags)``
+combination the engine writes the binding translation unit produced by
+:mod:`~repro.jit.cppcodegen` into the cache directory, compiles it with
+``g++ -std=c++17 -O2 -shared -fPIC`` against the bundled mini-GBTL header,
+and loads the shared object through :mod:`ctypes`; later calls hit the
+memory/disk caches.  Buffers flow between NumPy and C++ as raw pointers —
+one FFI call per GraphBLAS operation, mirroring the paper's pybind-style
+boundary.
+
+Operations without a native C++ binding (the index-heavy matrix
+assign/extract forms and standalone transpose — none of which appear in
+the evaluated algorithms' hot loops) delegate to the Python JIT engine;
+the native set is ``repro.jit.cppcodegen.CPP_SUPPORTED``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+from ctypes import POINTER, byref, c_double, c_int64, c_void_p
+from pathlib import Path
+
+import numpy as np
+
+from ..backend.ops_table import (
+    DEFAULT_IDENTITY_NAME,
+    binary_result_dtype,
+    identity_value,
+)
+from ..backend.smatrix import SparseMatrix
+from ..backend.svector import SparseVector
+from ..exceptions import BackendUnavailable, CompilationError
+from .cache import JitCache, default_cache
+from .cppcodegen import generate_cpp_source
+from .gbtl_lite import GBTL_LITE_HEADER, HEADER_FILENAME
+from .pyengine import PyJitEngine, _desc_params
+from .spec import KernelSpec
+
+__all__ = ["CppJitEngine", "find_cxx_compiler", "compiler_available"]
+
+_I64 = np.dtype(np.int64)
+
+
+def find_cxx_compiler() -> str | None:
+    """Path of the C++ compiler (``$PYGB_CXX`` override, else ``g++``,
+    else ``c++``), or None when this machine has none."""
+    env = os.environ.get("PYGB_CXX")
+    if env:
+        return env if shutil.which(env) else None
+    for cand in ("g++", "c++"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def compiler_available() -> bool:
+    return find_cxx_compiler() is not None
+
+
+def _scalar_pair(value, prefer_float: bool):
+    """``(c_double, c_int64)`` encodings of a scalar; the generated C++
+    selects one by element type, so the other leg may be lossy or zero
+    (``int(inf)`` would raise — the unused leg is zeroed instead)."""
+    if prefer_float:
+        return c_double(float(value)), c_int64(0)
+    try:
+        ival = int(value)
+    except (OverflowError, ValueError):
+        ival = 0
+    return c_double(float(value)), c_int64(ival)
+
+
+class _Args:
+    """Argument list builder that owns every temporary buffer it creates,
+    keeping the pointers alive for the duration of the ctypes call."""
+
+    def __init__(self):
+        self.args: list = []
+        self._hold: list[np.ndarray] = []
+
+    def _keep(self, arr: np.ndarray) -> np.ndarray:
+        self._hold.append(arr)
+        return arr
+
+    def ptr(self, arr: np.ndarray):
+        arr = self._keep(np.ascontiguousarray(arr))
+        self.args.append(None if arr.size == 0 else arr.ctypes.data_as(c_void_p))
+
+    def int64(self, x: int):
+        self.args.append(c_int64(int(x)))
+
+    def raw(self, ctypes_value):
+        self.args.append(ctypes_value)
+
+    def values_ptr(self, arr: np.ndarray):
+        """Value buffer with bool reinterpreted as uint8 (C++ bool is one
+        byte)."""
+        if arr.dtype == np.bool_:
+            arr = np.ascontiguousarray(arr).view(np.uint8)
+        self.ptr(arr)
+
+    def csr(self, m: SparseMatrix, with_dims: bool = True):
+        if with_dims:
+            self.int64(m.nrows)
+            self.int64(m.ncols)
+        self.ptr(np.asarray(m.indptr, _I64))
+        self.ptr(np.asarray(m.indices, _I64))
+        self.values_ptr(m.values)
+
+    def vec(self, v: SparseVector, with_size: bool = True):
+        if with_size:
+            self.int64(v.size)
+        self.ptr(np.asarray(v.indices, _I64))
+        self.values_ptr(v.values)
+        self.int64(v.nvals)
+
+    def mask_vec(self, mask: SparseVector | None):
+        if mask is None:
+            self.args += [None, None]
+            self.int64(0)
+        else:
+            self.ptr(np.asarray(mask.indices, _I64))
+            self.ptr(np.ascontiguousarray(mask.values.astype(bool)).view(np.uint8))
+            self.int64(mask.nvals)
+
+    def mask_mat(self, mask: SparseMatrix | None):
+        if mask is None:
+            self.args += [None, None, None]
+        else:
+            self.ptr(np.asarray(mask.indptr, _I64))
+            self.ptr(np.asarray(mask.indices, _I64))
+            self.ptr(np.ascontiguousarray(mask.values.astype(bool)).view(np.uint8))
+
+    def index_list(self, idx) -> None:
+        arr = np.ascontiguousarray(idx, _I64)
+        self.ptr(arr)
+        self.int64(arr.size)
+
+
+class CppJitEngine:
+    """Engine-interface implementation backed by JIT-compiled C++."""
+
+    name = "cpp"
+
+    def __init__(self, cache: JitCache | None = None):
+        self.cxx = find_cxx_compiler()
+        if self.cxx is None:
+            raise BackendUnavailable(
+                "the cpp engine needs a C++ compiler (g++/c++) on PATH; "
+                "set $PYGB_CXX or use the pyjit engine"
+            )
+        self.cache = cache if cache is not None else default_cache()
+        self._fallback = PyJitEngine(self.cache)
+        self._libs: dict[str, ctypes.CDLL] = {}
+        self._header_written = False
+
+    # ------------------------------------------------------------------
+    # compilation plumbing
+    # ------------------------------------------------------------------
+    def _ensure_header(self) -> None:
+        if self._header_written:
+            return
+        path = self.cache.cache_dir / HEADER_FILENAME
+        if not path.exists() or path.read_text() != GBTL_LITE_HEADER:
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(GBTL_LITE_HEADER)
+            os.replace(tmp, path)
+        self._header_written = True
+
+    def _compile(self, src_path: Path, out_path: Path) -> None:
+        self._ensure_header()
+        tmp = out_path.with_name(f"{out_path.name}.{os.getpid()}.tmp")
+        cmd = [
+            self.cxx,
+            "-std=c++17",
+            "-O2",
+            "-shared",
+            "-fPIC",
+            f"-I{self.cache.cache_dir}",
+            str(src_path),
+            "-o",
+            str(tmp),
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise CompilationError(
+                f"g++ failed for {src_path.name}:\n{proc.stderr[-4000:]}"
+            )
+        os.replace(tmp, out_path)
+
+    def _lib(self, spec: KernelSpec, scalar_out: bool = False) -> ctypes.CDLL:
+        artifact = self.cache.get_module(
+            spec, generate_cpp_source, suffix=".cpp", compiler=self._compile
+        )
+        key = str(artifact)
+        lib = self._libs.get(key)
+        if lib is None:
+            lib = ctypes.CDLL(key)
+            lib.pygb_run.restype = None if scalar_out else c_int64
+            self._libs[key] = lib
+        return lib
+
+    # ------------------------------------------------------------------
+    # result unmarshalling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _copy_values(lib, ptr, nnz: int, dtype) -> np.ndarray:
+        dt = np.dtype(dtype)
+        cdt = np.dtype(np.uint8) if dt == np.bool_ else dt
+        raw = ctypes.string_at(ptr, nnz * cdt.itemsize)
+        vals = np.frombuffer(raw, dtype=cdt).copy()
+        return vals.view(np.bool_) if dt == np.bool_ else vals
+
+    def _run_vec_out(self, lib, packed: _Args, size: int, dtype) -> SparseVector:
+        out_idx = POINTER(c_int64)()
+        out_vals = c_void_p()
+        nnz = lib.pygb_run(*packed.args, byref(out_idx), byref(out_vals))
+        if nnz < 0:
+            raise CompilationError("C++ kernel signalled failure")
+        if nnz > 0:
+            idx = np.ctypeslib.as_array(out_idx, shape=(nnz,)).copy()
+            vals = self._copy_values(lib, out_vals, nnz, dtype)
+        else:
+            idx = np.empty(0, _I64)
+            vals = np.empty(0, np.dtype(dtype))
+        lib.pygb_free(out_idx)
+        lib.pygb_free(out_vals)
+        return SparseVector.from_sorted(size, idx, vals)
+
+    def _run_mat_out(self, lib, packed: _Args, nrows, ncols, dtype) -> SparseMatrix:
+        out_indptr = POINTER(c_int64)()
+        out_indices = POINTER(c_int64)()
+        out_values = c_void_p()
+        nnz = lib.pygb_run(
+            *packed.args, byref(out_indptr), byref(out_indices), byref(out_values)
+        )
+        if nnz < 0:
+            raise CompilationError("C++ kernel signalled failure")
+        indptr = np.ctypeslib.as_array(out_indptr, shape=(nrows + 1,)).copy()
+        if nnz > 0:
+            indices = np.ctypeslib.as_array(out_indices, shape=(nnz,)).copy()
+            values = self._copy_values(lib, out_values, nnz, dtype)
+        else:
+            indices = np.empty(0, _I64)
+            values = np.empty(0, np.dtype(dtype))
+        lib.pygb_free(out_indptr)
+        lib.pygb_free(out_indices)
+        lib.pygb_free(out_values)
+        return SparseMatrix(nrows, ncols, indptr, indices, values)
+
+    # ------------------------------------------------------------------
+    # engine interface
+    # ------------------------------------------------------------------
+    def mxv(self, out, a, u, add, mult, desc, ta=False):
+        if ta:
+            a = a.transposed()
+        spec = KernelSpec.make(
+            "mxv",
+            a=KernelSpec.dt(a.dtype),
+            u=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(binary_result_dtype(mult, a.dtype, u.dtype)),
+            add=add,
+            mult=mult,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.csr(a)
+        p.vec(u)
+        p.vec(out)
+        p.mask_vec(desc.mask)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def vxm(self, out, u, a, add, mult, desc, ta=False):
+        if ta:
+            a = a.transposed()
+        spec = KernelSpec.make(
+            "vxm",
+            a=KernelSpec.dt(a.dtype),
+            u=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(binary_result_dtype(mult, u.dtype, a.dtype)),
+            add=add,
+            mult=mult,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.csr(a)
+        p.vec(u)
+        p.vec(out)
+        p.mask_vec(desc.mask)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def mxm(self, out, a, b, add, mult, desc, ta=False, tb=False):
+        if ta:
+            a = a.transposed()
+        if tb:
+            b = b.transposed()
+        spec = KernelSpec.make(
+            "mxm",
+            a=KernelSpec.dt(a.dtype),
+            b=KernelSpec.dt(b.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(binary_result_dtype(mult, a.dtype, b.dtype)),
+            add=add,
+            mult=mult,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.csr(a)
+        p.csr(b)
+        p.csr(out)
+        p.mask_mat(desc.mask)
+        return self._run_mat_out(lib, p, out.nrows, out.ncols, out.dtype)
+
+    def _ewise_vec(self, func, out, u, v, op, desc):
+        spec = KernelSpec.make(
+            func,
+            a=KernelSpec.dt(u.dtype),
+            b=KernelSpec.dt(v.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(binary_result_dtype(op, u.dtype, v.dtype)),
+            op=op,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.vec(u)
+        p.vec(v, with_size=False)
+        p.vec(out)
+        p.mask_vec(desc.mask)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def ewise_add_vec(self, out, u, v, op, desc):
+        return self._ewise_vec("ewise_add_vec", out, u, v, op, desc)
+
+    def ewise_mult_vec(self, out, u, v, op, desc):
+        return self._ewise_vec("ewise_mult_vec", out, u, v, op, desc)
+
+    def _ewise_mat(self, func, out, a, b, op, desc, ta, tb):
+        if ta:
+            a = a.transposed()
+        if tb:
+            b = b.transposed()
+        spec = KernelSpec.make(
+            func,
+            a=KernelSpec.dt(a.dtype),
+            b=KernelSpec.dt(b.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(binary_result_dtype(op, a.dtype, b.dtype)),
+            op=op,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.csr(a)
+        p.csr(b, with_dims=False)
+        p.csr(out, with_dims=False)
+        p.mask_mat(desc.mask)
+        return self._run_mat_out(lib, p, out.nrows, out.ncols, out.dtype)
+
+    def ewise_add_mat(self, out, a, b, op, desc, ta=False, tb=False):
+        return self._ewise_mat("ewise_add_mat", out, a, b, op, desc, ta, tb)
+
+    def ewise_mult_mat(self, out, a, b, op, desc, ta=False, tb=False):
+        return self._ewise_mat("ewise_mult_mat", out, a, b, op, desc, ta, tb)
+
+    @staticmethod
+    def _apply_spec_parts(op_spec, out_dtype):
+        if op_spec[0] == "unary":
+            d, i = _scalar_pair(0, prefer_float=True)
+            return d, i, "unary", op_spec[1], "none"
+        _, name, const, side = op_spec
+        prefer_float = np.dtype(out_dtype).kind == "f"
+        d, i = _scalar_pair(const, prefer_float)
+        return d, i, "bind", name, side
+
+    def apply_vec(self, out, u, op_spec, desc):
+        dconst, iconst, form, op, side = self._apply_spec_parts(op_spec, out.dtype)
+        spec = KernelSpec.make(
+            "apply_vec",
+            a=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            form=form,
+            op=op,
+            side=side,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.vec(u)
+        p.vec(out)
+        p.mask_vec(desc.mask)
+        p.raw(dconst)
+        p.raw(iconst)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def apply_mat(self, out, a, op_spec, desc, ta=False):
+        if ta:
+            a = a.transposed()
+        dconst, iconst, form, op, side = self._apply_spec_parts(op_spec, out.dtype)
+        spec = KernelSpec.make(
+            "apply_mat",
+            a=KernelSpec.dt(a.dtype),
+            c=KernelSpec.dt(out.dtype),
+            form=form,
+            op=op,
+            side=side,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.csr(a)
+        p.csr(out, with_dims=False)
+        p.mask_mat(desc.mask)
+        p.raw(dconst)
+        p.raw(iconst)
+        return self._run_mat_out(lib, p, out.nrows, out.ncols, out.dtype)
+
+    def _reduce_scalar(self, func, x, op, identity, matrix: bool):
+        if identity is None:
+            identity = DEFAULT_IDENTITY_NAME[op]
+        ident = identity_value(identity, x.dtype)
+        spec = KernelSpec.make(func, a=KernelSpec.dt(x.dtype), op=op)
+        lib = self._lib(spec, scalar_out=True)
+        dt = np.dtype(x.dtype)
+        out = np.zeros(1, dtype=np.uint8 if dt == np.bool_ else dt)
+        p = _Args()
+        if matrix:
+            p.csr(x)
+        else:
+            p.vec(x)
+        d, i = _scalar_pair(ident, prefer_float=dt.kind == "f")
+        p.raw(d)
+        p.raw(i)
+        p.ptr(out.view(np.uint8) if dt == np.bool_ else out)
+        lib.pygb_run(*p.args)
+        val = out.view(np.bool_)[0] if dt == np.bool_ else out[0]
+        return dt.type(val)
+
+    def reduce_mat_scalar(self, a, op, identity):
+        return self._reduce_scalar("reduce_mat_scalar", a, op, identity, matrix=True)
+
+    def reduce_vec_scalar(self, u, op, identity):
+        return self._reduce_scalar("reduce_vec_scalar", u, op, identity, matrix=False)
+
+    def reduce_rows(self, out, a, op, desc, ta=False):
+        if ta:
+            a = a.transposed()
+        spec = KernelSpec.make(
+            "reduce_rows",
+            a=KernelSpec.dt(a.dtype),
+            c=KernelSpec.dt(out.dtype),
+            op=op,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.csr(a)
+        p.vec(out)
+        p.mask_vec(desc.mask)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def assign_vec(self, out, u, idx, desc):
+        spec = KernelSpec.make(
+            "assign_vec",
+            a=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.vec(out)
+        p.vec(u)
+        p.index_list(idx)
+        p.mask_vec(desc.mask)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def assign_vec_scalar(self, out, value, idx, desc):
+        spec = KernelSpec.make(
+            "assign_vec_scalar",
+            c=KernelSpec.dt(out.dtype),
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.vec(out)
+        d, i = _scalar_pair(value, prefer_float=np.dtype(out.dtype).kind == "f")
+        p.raw(d)
+        p.raw(i)
+        p.index_list(idx)
+        p.mask_vec(desc.mask)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def extract_vec(self, out, u, idx, desc):
+        spec = KernelSpec.make(
+            "extract_vec",
+            a=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.vec(out)
+        p.vec(u)
+        p.index_list(idx)
+        p.mask_vec(desc.mask)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    # -- Python-JIT fallbacks (index-heavy matrix forms) -----------------
+    def transpose(self, out, a, desc):
+        return self._fallback.transpose(out, a, desc)
+
+    def extract_mat(self, out, a, rows, cols, desc, ta=False):
+        return self._fallback.extract_mat(out, a, rows, cols, desc, ta)
+
+    def assign_mat(self, out, a, rows, cols, desc, ta=False):
+        return self._fallback.assign_mat(out, a, rows, cols, desc, ta)
+
+    def assign_mat_scalar(self, out, value, rows, cols, desc):
+        return self._fallback.assign_mat_scalar(out, value, rows, cols, desc)
+
+    def select_mat(self, out, a, op, thunk, desc, ta=False):
+        return self._fallback.select_mat(out, a, op, thunk, desc, ta)
+
+    def select_vec(self, out, u, op, thunk, desc):
+        return self._fallback.select_vec(out, u, op, thunk, desc)
+
+    def kronecker(self, out, a, b, op, desc, ta=False, tb=False):
+        return self._fallback.kronecker(out, a, b, op, desc, ta, tb)

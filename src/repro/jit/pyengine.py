@@ -1,0 +1,268 @@
+"""The ``pyjit`` execution engine: Fig. 9's dispatch stage with Python
+code generation.
+
+Each method inspects its runtime arguments exactly the way the paper's
+``operate()`` does — "the data types of each operand is checked to
+determine the output type through standard typecasting rules" — builds
+the :class:`~repro.jit.spec.KernelSpec`, fetches the specialised module
+through the memory→disk→compile cache, and invokes its ``run``.
+"""
+
+from __future__ import annotations
+
+from ..backend.kernels import OpDesc
+from ..backend.ops_table import binary_result_dtype
+from .cache import JitCache, default_cache
+from .pycodegen import generate_source
+from .spec import KernelSpec
+
+__all__ = ["PyJitEngine"]
+
+
+def _desc_params(desc: OpDesc) -> dict:
+    return {
+        "mask": "none" if desc.mask is None else "value",
+        "comp": desc.complement,
+        "repl": desc.replace,
+        "accum": desc.accum or "none",
+    }
+
+
+class PyJitEngine:
+    """Engine-interface implementation backed by generated Python modules."""
+
+    name = "pyjit"
+
+    def __init__(self, cache: JitCache | None = None):
+        self.cache = cache if cache is not None else default_cache()
+
+    def _module(self, spec: KernelSpec):
+        return self.cache.get_module(spec, generate_source, suffix=".py")
+
+    # ------------------------------------------------------------------
+    # multiplication
+    # ------------------------------------------------------------------
+    def mxm(self, out, a, b, add, mult, desc, ta=False, tb=False):
+        spec = KernelSpec.make(
+            "mxm",
+            a=KernelSpec.dt(a.dtype),
+            b=KernelSpec.dt(b.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(binary_result_dtype(mult, a.dtype, b.dtype)),
+            add=add,
+            mult=mult,
+            ta=ta,
+            tb=tb,
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, a, b, desc.mask)
+
+    def mxv(self, out, a, u, add, mult, desc, ta=False):
+        spec = KernelSpec.make(
+            "mxv",
+            a=KernelSpec.dt(a.dtype),
+            u=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(binary_result_dtype(mult, a.dtype, u.dtype)),
+            add=add,
+            mult=mult,
+            ta=ta,
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, a, u, desc.mask)
+
+    def vxm(self, out, u, a, add, mult, desc, ta=False):
+        spec = KernelSpec.make(
+            "vxm",
+            a=KernelSpec.dt(a.dtype),
+            u=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(binary_result_dtype(mult, u.dtype, a.dtype)),
+            add=add,
+            mult=mult,
+            ta=ta,
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, u, a, desc.mask)
+
+    # ------------------------------------------------------------------
+    # elementwise
+    # ------------------------------------------------------------------
+    def _ewise(self, func, out, x, y, op, desc, ta=False, tb=False, matrix=False):
+        params = dict(
+            a=KernelSpec.dt(x.dtype),
+            b=KernelSpec.dt(y.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(binary_result_dtype(op, x.dtype, y.dtype)),
+            op=op,
+            **_desc_params(desc),
+        )
+        if matrix:
+            params.update(ta=ta, tb=tb)
+        spec = KernelSpec.make(func, **params)
+        return self._module(spec).run(out, x, y, desc.mask)
+
+    def ewise_add_mat(self, out, a, b, op, desc, ta=False, tb=False):
+        return self._ewise("ewise_add_mat", out, a, b, op, desc, ta, tb, matrix=True)
+
+    def ewise_add_vec(self, out, u, v, op, desc):
+        return self._ewise("ewise_add_vec", out, u, v, op, desc)
+
+    def ewise_mult_mat(self, out, a, b, op, desc, ta=False, tb=False):
+        return self._ewise("ewise_mult_mat", out, a, b, op, desc, ta, tb, matrix=True)
+
+    def ewise_mult_vec(self, out, u, v, op, desc):
+        return self._ewise("ewise_mult_vec", out, u, v, op, desc)
+
+    # ------------------------------------------------------------------
+    # apply / reduce / transpose
+    # ------------------------------------------------------------------
+    def _apply(self, func, out, x, op_spec, desc, ta=False, matrix=False):
+        if op_spec[0] == "unary":
+            form, op, side, const = "unary", op_spec[1], "none", None
+        else:
+            _, op, const, side = op_spec
+        params = dict(
+            a=KernelSpec.dt(x.dtype),
+            c=KernelSpec.dt(out.dtype),
+            form="unary" if op_spec[0] == "unary" else "bind",
+            op=op,
+            side=side,
+            **_desc_params(desc),
+        )
+        if matrix:
+            params.update(ta=ta)
+        spec = KernelSpec.make(func, **params)
+        return self._module(spec).run(out, x, desc.mask, const)
+
+    def apply_mat(self, out, a, op_spec, desc, ta=False):
+        return self._apply("apply_mat", out, a, op_spec, desc, ta, matrix=True)
+
+    def apply_vec(self, out, u, op_spec, desc):
+        return self._apply("apply_vec", out, u, op_spec, desc)
+
+    def _reduce_scalar(self, func, x, op, identity):
+        from ..backend.ops_table import DEFAULT_IDENTITY_NAME, identity_value
+
+        if identity is None:
+            identity = DEFAULT_IDENTITY_NAME[op]
+        ident_val = identity_value(identity, x.dtype)
+        spec = KernelSpec.make(func, a=KernelSpec.dt(x.dtype), op=op)
+        return self._module(spec).run(x, ident_val)
+
+    def reduce_mat_scalar(self, a, op, identity):
+        return self._reduce_scalar("reduce_mat_scalar", a, op, identity)
+
+    def reduce_vec_scalar(self, u, op, identity):
+        return self._reduce_scalar("reduce_vec_scalar", u, op, identity)
+
+    def reduce_rows(self, out, a, op, desc, ta=False):
+        spec = KernelSpec.make(
+            "reduce_rows",
+            a=KernelSpec.dt(a.dtype),
+            c=KernelSpec.dt(out.dtype),
+            op=op,
+            ta=ta,
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, a, desc.mask)
+
+    def transpose(self, out, a, desc):
+        spec = KernelSpec.make(
+            "transpose",
+            a=KernelSpec.dt(a.dtype),
+            c=KernelSpec.dt(out.dtype),
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, a, desc.mask)
+
+    def select_mat(self, out, a, op, thunk, desc, ta=False):
+        spec = KernelSpec.make(
+            "select_mat",
+            a=KernelSpec.dt(a.dtype),
+            c=KernelSpec.dt(out.dtype),
+            op=op,
+            ta=ta,
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, a, thunk, desc.mask)
+
+    def select_vec(self, out, u, op, thunk, desc):
+        spec = KernelSpec.make(
+            "select_vec",
+            a=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            op=op,
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, u, thunk, desc.mask)
+
+    def kronecker(self, out, a, b, op, desc, ta=False, tb=False):
+        spec = KernelSpec.make(
+            "kronecker",
+            a=KernelSpec.dt(a.dtype),
+            b=KernelSpec.dt(b.dtype),
+            c=KernelSpec.dt(out.dtype),
+            op=op,
+            ta=ta,
+            tb=tb,
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, a, b, desc.mask)
+
+    # ------------------------------------------------------------------
+    # extract / assign (partially specialised delegates)
+    # ------------------------------------------------------------------
+    def extract_mat(self, out, a, rows, cols, desc, ta=False):
+        spec = KernelSpec.make(
+            "extract_mat",
+            a=KernelSpec.dt(a.dtype),
+            c=KernelSpec.dt(out.dtype),
+            ta=ta,
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, a, rows, cols, desc.mask)
+
+    def extract_vec(self, out, u, idx, desc):
+        spec = KernelSpec.make(
+            "extract_vec",
+            a=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, u, idx, desc.mask)
+
+    def assign_mat(self, out, a, rows, cols, desc, ta=False):
+        spec = KernelSpec.make(
+            "assign_mat",
+            a=KernelSpec.dt(a.dtype),
+            c=KernelSpec.dt(out.dtype),
+            ta=ta,
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, a, rows, cols, desc.mask)
+
+    def assign_vec(self, out, u, idx, desc):
+        spec = KernelSpec.make(
+            "assign_vec",
+            a=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, u, idx, desc.mask)
+
+    def assign_mat_scalar(self, out, value, rows, cols, desc):
+        spec = KernelSpec.make(
+            "assign_mat_scalar",
+            c=KernelSpec.dt(out.dtype),
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, value, rows, cols, desc.mask)
+
+    def assign_vec_scalar(self, out, value, idx, desc):
+        spec = KernelSpec.make(
+            "assign_vec_scalar",
+            c=KernelSpec.dt(out.dtype),
+            **_desc_params(desc),
+        )
+        return self._module(spec).run(out, value, idx, desc.mask)

@@ -1,0 +1,52 @@
+"""Utility routines mirroring GBTL's helper functions.
+
+``gb.utilities.normalize_rows`` appears in the paper's PageRank (Fig. 7
+line 9, ``GB::normalize_rows`` in Fig. 8 line 16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .backend.smatrix import SparseMatrix
+from .core.matrix import Matrix
+
+__all__ = ["normalize_rows", "normalize_cols"]
+
+
+def _scaled(store: SparseMatrix, sums_per_entry: np.ndarray) -> SparseMatrix:
+    vals = store.values.astype(np.float64, copy=True)
+    nonzero = sums_per_entry != 0
+    vals[nonzero] = vals[nonzero] / sums_per_entry[nonzero]
+    if store.dtype.kind == "f":
+        vals = vals.astype(store.dtype)
+    # integer matrices are promoted to float64, matching GBTL's PageRank
+    # usage where the graph is first copied into a floating-point matrix
+    return SparseMatrix(store.nrows, store.ncols, store.indptr, store.indices, vals)
+
+
+def normalize_rows(m: Matrix) -> Matrix:
+    """Scale each row of *m* in place so its stored values sum to 1.
+
+    Rows with zero sum (or no stored values) are left untouched.  Integer
+    matrices are promoted to float64.  Returns *m* for chaining.
+    """
+    store = m._store
+    if store.nvals == 0:
+        return m
+    rows = np.repeat(np.arange(store.nrows, dtype=np.int64), store.row_lengths())
+    sums = np.zeros(store.nrows, dtype=np.float64)
+    np.add.at(sums, rows, store.values.astype(np.float64, copy=False))
+    m._store = _scaled(store, sums[rows])
+    return m
+
+
+def normalize_cols(m: Matrix) -> Matrix:
+    """Column counterpart of :func:`normalize_rows` (in place)."""
+    store = m._store
+    if store.nvals == 0:
+        return m
+    sums = np.zeros(store.ncols, dtype=np.float64)
+    np.add.at(sums, store.indices, store.values.astype(np.float64, copy=False))
+    m._store = _scaled(store, sums[store.indices])
+    return m

@@ -1,0 +1,96 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.__main__ import main
+from repro.io.matrixmarket import mmwrite
+
+
+@pytest.fixture(autouse=True)
+def _restore_engine():
+    """The CLI's ``--engine`` switches the thread's engine permanently
+    (by design); restore the default after each test."""
+    from repro.core.context import _engine_state
+
+    before = getattr(_engine_state, "engine", None)
+    yield
+    _engine_state.engine = before
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    # 0→1→2→3, 3→0 ring plus a chord 0→2
+    rows = [0, 1, 2, 3, 0]
+    cols = [1, 2, 3, 0, 2]
+    m = gb.Matrix((np.ones(5), (rows, cols)), shape=(4, 4), dtype=int)
+    path = tmp_path / "g.mtx"
+    mmwrite(path, m)
+    return str(path)
+
+
+@pytest.fixture
+def sym_file(tmp_path):
+    # an undirected triangle 0-1-2 plus pendant 3
+    rows = [0, 1, 1, 2, 2, 0, 2, 3]
+    cols = [1, 0, 2, 1, 0, 2, 3, 2]
+    m = gb.Matrix((np.ones(8), (rows, cols)), shape=(4, 4), dtype=int)
+    path = tmp_path / "s.mtx"
+    mmwrite(path, m)
+    return str(path)
+
+
+def test_info(graph_file, capsys):
+    assert main(["info", graph_file]) == 0
+    out = capsys.readouterr().out
+    assert "4 x 4" in out and "edges:      5" in out
+
+
+def test_info_reports_symmetry(sym_file, capsys):
+    main(["info", sym_file])
+    assert "symmetric:  yes" in capsys.readouterr().out
+
+
+def test_bfs(graph_file, capsys):
+    assert main(["bfs", graph_file, "--source", "0", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "reached 4/4" in out
+    assert "max depth: 2 hops" in out
+
+
+def test_sssp(graph_file, capsys):
+    assert main(["sssp", graph_file, "--source", "0"]) == 0
+    assert "reached 4/4" in capsys.readouterr().out
+
+
+def test_pagerank(graph_file, capsys):
+    assert main(["pagerank", graph_file, "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "top 2 vertices" in out
+
+
+def test_triangles(sym_file, capsys):
+    assert main(["triangles", sym_file]) == 0
+    assert "triangles: 1" in capsys.readouterr().out
+
+
+def test_components(sym_file, capsys):
+    assert main(["components", sym_file]) == 0
+    assert "components: 1" in capsys.readouterr().out
+
+
+def test_engines(capsys):
+    assert main(["engines"]) == 0
+    out = capsys.readouterr().out
+    assert "pyjit" in out and "interpreted" in out
+
+
+def test_engine_flag(graph_file, capsys):
+    assert main(["--engine", "interpreted", "bfs", graph_file]) == 0
+    assert "reached" in capsys.readouterr().out
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

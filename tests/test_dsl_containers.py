@@ -1,0 +1,216 @@
+"""DSL container tests: the constructors of Fig. 3, properties, element
+access, copy semantics, and interop conversions."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.exceptions import EmptyObject, InvalidValue
+
+
+class TestMatrixConstruction:
+    def test_sparse_coo_form(self):
+        # Fig. 3a: gb.Matrix((vals, (row_idx, col_idx)), shape=(r, c))
+        m = gb.Matrix(([1.0, 2.0], ([0, 1], [1, 0])), shape=(3, 3))
+        assert m.shape == (3, 3)
+        assert m.nvals == 2
+        assert m[0, 1] == 1.0
+
+    def test_dense_list_form(self):
+        # Fig. 3a: gb.Matrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        m = gb.Matrix([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        assert m.shape == (3, 3)
+        assert m.nvals == 9
+        assert m.dtype == np.int64
+        assert m[2, 0] == 7
+
+    def test_numpy_form(self):
+        # Fig. 3b: gb.Matrix(np.random.rand(3, 3))
+        arr = np.arange(6, dtype=np.float64).reshape(2, 3)
+        m = gb.Matrix(arr)
+        assert m.shape == (2, 3)
+        assert np.array_equal(m.to_numpy(), arr)
+
+    def test_scipy_form(self):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        sp = scipy_sparse.diags([1.0, 1.0, 1.0], offsets=0, shape=(3, 3)).tocsr()
+        m = gb.Matrix(sp)
+        assert m.nvals == 3
+        assert m[1, 1] == 1.0
+
+    def test_networkx_form(self):
+        nx = pytest.importorskip("networkx")
+        g = nx.balanced_tree(r=2, h=3)
+        m = gb.Matrix(g)
+        assert m.shape == (g.number_of_nodes(),) * 2
+        # undirected graphs contribute both orientations
+        assert m.nvals == 2 * g.number_of_edges()
+
+    def test_empty_with_shape_and_dtype(self):
+        m = gb.Matrix(shape=(4, 5), dtype=float)
+        assert m.shape == (4, 5) and m.nvals == 0 and m.dtype == np.float64
+
+    def test_empty_without_shape_rejected(self):
+        with pytest.raises(InvalidValue):
+            gb.Matrix()
+
+    def test_copy_constructor_is_deep(self):
+        m = gb.Matrix([[1, 2], [3, 4]])
+        c = gb.Matrix(m)
+        c[0, 0] = 99
+        assert m[0, 0] == 1
+
+    def test_dtype_cast_at_construction(self):
+        m = gb.Matrix([[1.7, 2.2]], dtype=int)
+        assert m.dtype == np.int64 and m[0, 0] == 1
+
+    def test_construction_copies_data(self):
+        # "PyGB currently performs a data copy at construction" (Sec. III)
+        arr = np.ones((2, 2))
+        m = gb.Matrix(arr)
+        arr[0, 0] = 42.0
+        assert m[0, 0] == 1.0
+
+    def test_from_expression(self):
+        a = gb.Matrix([[1, 0], [0, 1]])
+        m = gb.Matrix(a @ a)
+        assert m[0, 0] == 1
+
+    def test_shape_inferred_from_coo(self):
+        m = gb.Matrix(([1.0], ([4], [2])))
+        assert m.shape == (5, 3)
+
+    def test_3d_data_rejected(self):
+        with pytest.raises(InvalidValue):
+            gb.Matrix(np.zeros((2, 2, 2)))
+
+
+class TestVectorConstruction:
+    def test_sparse_form(self):
+        # Fig. 3a: gb.Vector((vals, idx), shape=(l,))
+        v = gb.Vector(([1.0, 2.0], [3, 1]), shape=(5,))
+        assert v.size == 5 and v.nvals == 2
+        assert v[1] == 2.0
+
+    def test_dense_list_form(self):
+        v = gb.Vector([1, 2, 3, 4, 5])
+        assert v.size == 5 and v.nvals == 5 and v.dtype == np.int64
+
+    def test_empty(self):
+        v = gb.Vector(shape=(7,), dtype=bool)
+        assert v.size == 7 and v.nvals == 0 and v.dtype == np.bool_
+
+    def test_shape_as_int(self):
+        v = gb.Vector(shape=4, dtype=float)
+        assert v.size == 4
+
+    def test_2d_shape_rejected(self):
+        with pytest.raises(InvalidValue):
+            gb.Vector(shape=(2, 2), dtype=float)
+
+    def test_copy_constructor_is_deep(self):
+        v = gb.Vector([1.0, 2.0])
+        w = gb.Vector(v)
+        w[0] = 9.0
+        assert v[0] == 1.0
+
+    def test_2d_data_rejected(self):
+        with pytest.raises(InvalidValue):
+            gb.Vector(np.zeros((2, 2)))
+
+
+class TestElementAccess:
+    def test_matrix_scalar_extract(self):
+        m = gb.Matrix(([5.0], ([1], [2])), shape=(3, 3))
+        assert m[1, 2] == 5.0
+
+    def test_matrix_missing_element_raises(self):
+        m = gb.Matrix(shape=(3, 3), dtype=float)
+        with pytest.raises(EmptyObject):
+            m[0, 0]
+
+    def test_matrix_get_with_default(self):
+        m = gb.Matrix(shape=(3, 3), dtype=float)
+        assert m.get(0, 0) is None
+        assert m.get(0, 0, default=-1.0) == -1.0
+
+    def test_vector_scalar_extract(self):
+        v = gb.Vector(([7.0], [2]), shape=(4,))
+        assert v[2] == 7.0
+        with pytest.raises(EmptyObject):
+            v[0]
+
+    def test_set_element(self):
+        m = gb.Matrix(shape=(3, 3), dtype=float)
+        m[1, 2] = 8.0
+        assert m.nvals == 1 and m[1, 2] == 8.0
+
+    def test_set_element_vector(self):
+        v = gb.Vector(shape=(3,), dtype=int)
+        v[1] = 5
+        assert v.nvals == 1 and v[1] == 5
+
+    def test_negative_indices(self):
+        v = gb.Vector([1.0, 2.0, 3.0])
+        assert v[-1] == 3.0
+
+
+class TestProperties:
+    def test_nvals_shape_dtype(self, small_graph):
+        assert small_graph.nvals == 12
+        assert small_graph.shape == (7, 7)
+        assert small_graph.nrows == 7 and small_graph.ncols == 7
+        assert small_graph.dtype == np.int64
+
+    def test_clear(self, small_graph):
+        small_graph.clear()
+        assert small_graph.nvals == 0
+        assert small_graph.shape == (7, 7)
+
+    def test_dup(self, small_graph):
+        d = small_graph.dup()
+        d.clear()
+        assert small_graph.nvals == 12
+
+    def test_isequal(self):
+        a = gb.Matrix([[1, 2], [3, 4]])
+        b = gb.Matrix([[1, 2], [3, 4]])
+        c = gb.Matrix([[1, 2], [3, 5]])
+        assert a.isequal(b)
+        assert not a.isequal(c)
+        assert not a.isequal(gb.Vector([1, 2]))
+
+    def test_repr(self):
+        assert "2x2" in repr(gb.Matrix([[1, 2], [3, 4]]))
+        assert "size=3" in repr(gb.Vector([1, 2, 3]))
+
+
+class TestConversions:
+    def test_matrix_to_numpy_fill(self):
+        m = gb.Matrix(([3.0], ([0], [1])), shape=(2, 2))
+        d = m.to_numpy(fill=-1)
+        assert d[0, 1] == 3.0 and d[1, 0] == -1
+
+    def test_vector_to_numpy(self):
+        v = gb.Vector(([2.0], [1]), shape=(3,))
+        assert list(v.to_numpy()) == [0.0, 2.0, 0.0]
+
+    def test_to_coo_copies(self):
+        m = gb.Matrix([[1, 2], [3, 4]])
+        rows, cols, vals = m.to_coo()
+        vals[0] = 99
+        assert m[0, 0] == 1
+
+    def test_scipy_roundtrip(self):
+        pytest.importorskip("scipy.sparse")
+        m = gb.Matrix(([1.0, 2.0], ([0, 1], [1, 0])), shape=(2, 2))
+        sp = gb.io.to_scipy_sparse(m)
+        back = gb.io.from_scipy_sparse(sp)
+        assert back.isequal(m)
+
+    def test_networkx_roundtrip(self):
+        pytest.importorskip("networkx")
+        m = gb.Matrix(([1.0, 2.0], ([0, 1], [1, 2])), shape=(3, 3))
+        g = gb.io.to_networkx(m)
+        back = gb.io.from_networkx(g)
+        assert back.isequal(m)

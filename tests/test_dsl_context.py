@@ -1,0 +1,242 @@
+"""Operator context-stack tests (paper Sec. IV): nesting precedence,
+accumulator fallback, the Replace flag, thread isolation, and error
+handling."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.core import context, operators
+from repro.core.operators import (
+    Accumulator,
+    BinaryOp,
+    Monoid,
+    Semiring,
+    UnaryOp,
+    resolve_accum_op,
+    resolve_ewise_add_op,
+    resolve_ewise_mult_op,
+    resolve_reduce_monoid,
+    resolve_semiring,
+    resolve_unary_spec,
+)
+
+
+class TestStackMechanics:
+    def test_with_pushes_and_pops(self):
+        op = BinaryOp("Min")
+        assert op not in context.stack_snapshot()
+        with op:
+            assert context.stack_snapshot()[-1] is op
+        assert op not in context.stack_snapshot()
+
+    def test_nesting_order(self):
+        a, b = BinaryOp("Min"), BinaryOp("Max")
+        with a:
+            with b:
+                assert context.stack_snapshot()[-2:] == (a, b)
+            assert context.stack_snapshot()[-1] is a
+
+    def test_exception_unwinds_stack(self):
+        op = BinaryOp("Min")
+        with pytest.raises(RuntimeError):
+            with op:
+                raise RuntimeError("boom")
+        assert op not in context.stack_snapshot()
+
+    def test_lifo_violation_detected(self):
+        a, b = BinaryOp("Min"), BinaryOp("Max")
+        context.push(a)
+        context.push(b)
+        with pytest.raises(RuntimeError):
+            context.pop(a)
+        # clean up
+        context.pop(b)
+        context.pop(a)
+
+    def test_reentrant_same_object(self):
+        sr = gb.ArithmeticSemiring
+        with sr:
+            with sr:
+                assert resolve_semiring() == ("Plus", "Times")
+        assert sr not in context.stack_snapshot()
+
+
+class TestResolution:
+    def test_semiring_defaults_to_arithmetic(self):
+        assert resolve_semiring() == ("Plus", "Times")
+
+    def test_nearest_semiring_wins(self):
+        with Semiring(gb.MinMonoid, "Plus"):
+            with Semiring(gb.MaxMonoid, "Times"):
+                assert resolve_semiring() == ("Max", "Times")
+            assert resolve_semiring() == ("Min", "Plus")
+
+    def test_ewise_add_from_binary_op(self):
+        with BinaryOp("Minus"):
+            assert resolve_ewise_add_op() == "Minus"
+
+    def test_ewise_add_from_semiring_takes_add(self):
+        with gb.MinPlusSemiring:
+            assert resolve_ewise_add_op() == "Min"
+
+    def test_ewise_mult_from_semiring_takes_mult(self):
+        with gb.MinPlusSemiring:
+            assert resolve_ewise_mult_op() == "Plus"
+
+    def test_ewise_from_monoid(self):
+        with gb.MaxMonoid:
+            assert resolve_ewise_add_op() == "Max"
+            assert resolve_ewise_mult_op() == "Max"
+
+    def test_ewise_defaults(self):
+        assert resolve_ewise_add_op() == "Plus"
+        assert resolve_ewise_mult_op() == "Times"
+
+    def test_explicit_overrides_context(self):
+        with BinaryOp("Minus"):
+            assert resolve_ewise_add_op("Max") == "Max"
+
+    def test_accumulator_beats_inner_semiring(self):
+        # Fig. 7: with gb.Accumulator("Second"), gb.Semiring(PlusMonoid, "Times")
+        with Accumulator("Second"), Semiring(gb.PlusMonoid, "Times"):
+            assert resolve_accum_op() == "Second"
+
+    def test_accum_falls_back_to_semiring_monoid(self):
+        # the paper's SSSP note: Accumulator("Min") can be omitted
+        with gb.MinPlusSemiring:
+            assert resolve_accum_op() == "Min"
+
+    def test_accum_default_plus(self):
+        assert resolve_accum_op() == "Plus"
+
+    def test_reduce_monoid_from_context(self):
+        with gb.MinPlusSemiring:
+            op, ident = resolve_reduce_monoid()
+            assert op == "Min" and ident == "MinIdentity"
+
+    def test_reduce_monoid_default(self):
+        assert resolve_reduce_monoid() == ("Plus", "PlusIdentity")
+
+    def test_reduce_monoid_explicit_forms(self):
+        assert resolve_reduce_monoid(gb.MaxMonoid)[0] == "Max"
+        assert resolve_reduce_monoid(gb.MinPlusSemiring)[0] == "Min"
+
+    def test_unary_from_context(self):
+        with UnaryOp("AdditiveInverse"):
+            assert resolve_unary_spec() == ("unary", "AdditiveInverse")
+
+    def test_unary_default_identity(self):
+        assert resolve_unary_spec() == ("unary", "Identity")
+
+    def test_bound_unary_spec(self):
+        spec = resolve_unary_spec(UnaryOp("Times", 0.85))
+        assert spec == ("bind", "Times", 0.85, "second")
+        spec = resolve_unary_spec(UnaryOp("Minus", 1.0, bind="first"))
+        assert spec == ("bind", "Minus", 1.0, "first")
+
+
+class TestReplaceFlag:
+    def test_inactive_by_default(self):
+        assert not context.replace_active()
+
+    def test_active_inside_block(self):
+        with gb.Replace:
+            assert context.replace_active()
+        assert not context.replace_active()
+
+    def test_replace_changes_masked_write(self):
+        c = gb.Vector(([1.0, 2.0], [0, 1]), shape=(3,))
+        u = gb.Vector(([10.0], [1]), shape=(3,))
+        v = gb.Vector(([20.0], [1]), shape=(3,))
+        mask = gb.Vector(([True], [1]), shape=(3,), dtype=bool)
+        merged = gb.Vector(c)
+        merged[mask] = u + v
+        assert merged.get(0) == 1.0  # outside mask kept
+        replaced = gb.Vector(c)
+        with gb.Replace:
+            replaced[mask] = u + v
+        assert replaced.get(0) is None  # outside mask cleared
+
+    def test_explicit_replace_key_overrides_context(self):
+        c = gb.Vector(([1.0], [0]), shape=(3,))
+        u = gb.Vector(([5.0], [1]), shape=(3,))
+        mask = gb.Vector(([True], [1]), shape=(3,), dtype=bool)
+        c[mask, True] = gb.apply(u)
+        assert c.get(0) is None and c.get(1) == 5.0
+
+
+class TestThreadIsolation:
+    def test_stacks_are_thread_local(self):
+        results = {}
+
+        def worker():
+            results["worker_sees"] = resolve_semiring()
+
+        with gb.MinPlusSemiring:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            results["main_sees"] = resolve_semiring()
+        assert results["worker_sees"] == ("Plus", "Times")  # default
+        assert results["main_sees"] == ("Min", "Plus")
+
+
+class TestOperatorObjects:
+    def test_binary_op_validates(self):
+        with pytest.raises(gb.UnknownOperator):
+            BinaryOp("NoSuchOp")
+
+    def test_unary_op_validates(self):
+        with pytest.raises(gb.UnknownOperator):
+            UnaryOp("NoSuchOp")
+        with pytest.raises(gb.UnknownOperator):
+            UnaryOp("NoSuchBinary", 2.0)
+        with pytest.raises(ValueError):
+            UnaryOp("Times", 2.0, bind="third")
+
+    def test_monoid_requires_associative_op(self):
+        with pytest.raises(gb.UnknownOperator):
+            Monoid("Minus")
+
+    def test_monoid_literal_identity(self):
+        m = Monoid("Plus", 0)
+        assert m.identity == 0
+
+    def test_monoid_named_identity_validated(self):
+        with pytest.raises(gb.UnknownOperator):
+            Monoid("Min", "BogusIdentity")
+
+    def test_monoid_default_identity(self):
+        assert Monoid("Min").identity == "MinIdentity"
+
+    def test_semiring_composition_forms(self):
+        # the equivalences of Sec. III:
+        # MinPlusSemiring == Semiring(MinMonoid, "Plus")
+        s1 = Semiring(gb.MinMonoid, "Plus")
+        assert (s1.add_op, s1.mult_op) == ("Min", "Plus")
+        # Monoid("Min", "MinIdentity") == MinMonoid
+        s2 = Semiring(Monoid("Min", "MinIdentity"), BinaryOp("Plus"))
+        assert (s2.add_op, s2.mult_op) == ("Min", "Plus")
+        # a bare op name coerces to the canonical monoid
+        s3 = Semiring("Min", "Plus")
+        assert s3.monoid.identity == "MinIdentity"
+
+    def test_accumulator_forms(self):
+        assert Accumulator("Min").name == "Min"
+        assert Accumulator(BinaryOp("Plus")).name == "Plus"
+
+    def test_binary_op_equality_and_hash(self):
+        assert BinaryOp("Plus") == BinaryOp("Plus")
+        assert BinaryOp("Plus") != BinaryOp("Min")
+        assert len({BinaryOp("Plus"), BinaryOp("Plus")}) == 1
+
+    def test_reprs(self):
+        assert "Min" in repr(BinaryOp("Min"))
+        assert "Times" in repr(UnaryOp("Times", 2.0))
+        assert "Plus" in repr(gb.PlusMonoid)
+        assert "Min" in repr(gb.MinPlusSemiring)
+        assert "Second" in repr(Accumulator("Second"))
+        assert repr(gb.Replace) == "Replace"

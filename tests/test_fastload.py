@@ -1,0 +1,87 @@
+"""Tests for the JIT-compiled C++ MatrixMarket loader (Sec. VIII)."""
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.exceptions import InvalidValue
+from repro.io.fastload import fast_loader_available, mmread_fast
+from repro.io.matrixmarket import mmread, mmwrite
+
+needs_cpp = pytest.mark.skipif(
+    not fast_loader_available(), reason="no C++ toolchain for the fast loader"
+)
+
+
+@needs_cpp
+class TestFastLoader:
+    def test_matches_python_reader(self, tmp_path, rng):
+        n = 50
+        flat = rng.choice(n * n, size=200, replace=False)
+        m = gb.Matrix(
+            (rng.uniform(-5, 5, 200), (flat // n, flat % n)), shape=(n, n)
+        )
+        path = tmp_path / "m.mtx"
+        mmwrite(path, m)
+        fast = mmread_fast(path)
+        slow = mmread(path)
+        assert fast.isequal(slow)
+
+    def test_empty_matrix(self, tmp_path):
+        m = gb.Matrix(shape=(4, 4), dtype=float)
+        path = tmp_path / "e.mtx"
+        mmwrite(path, m)
+        fast = mmread_fast(path)
+        assert fast.shape == (4, 4) and fast.nvals == 0
+
+    def test_integer_files_parse(self, tmp_path):
+        m = gb.Matrix(([1, 2, 3], ([0, 1, 2], [2, 0, 1])), shape=(3, 3), dtype=int)
+        path = tmp_path / "i.mtx"
+        mmwrite(path, m)
+        fast = mmread_fast(path, dtype=np.int64)
+        assert fast.dtype == np.int64
+        assert fast.isequal(m)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(InvalidValue):
+            mmread_fast(tmp_path / "nope.mtx")
+
+    def test_symmetric_falls_back_to_python(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 1\n2 1 5.0\n"
+        )
+        m = mmread_fast(path)
+        assert m[1, 0] == 5.0 and m[0, 1] == 5.0  # mirrored by the fallback
+
+    def test_pattern_falls_back_to_python(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 3\n"
+        )
+        m = mmread_fast(path)
+        assert m[0, 2] == 1
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment line\n% another\n"
+            "2 2 1\n1 2 9.5\n"
+        )
+        m = mmread_fast(path)
+        assert m[0, 1] == 9.5
+
+
+def test_fallback_without_compiler(tmp_path, monkeypatch):
+    """With the compiler hidden, mmread_fast silently uses the Python
+    reader."""
+    import repro.io.fastload as fl
+
+    monkeypatch.setattr(fl, "_lib", None)
+    monkeypatch.setattr(fl, "_lib_failed", True)
+    m = gb.Matrix(([7.0], ([0], [1])), shape=(2, 2))
+    path = tmp_path / "fb.mtx"
+    mmwrite(path, m)
+    assert fl.mmread_fast(path).isequal(m)

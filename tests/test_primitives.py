@@ -1,0 +1,278 @@
+"""Unit tests for the vectorised backend primitives."""
+
+import numpy as np
+import pytest
+
+from repro.backend import primitives as P
+
+
+class TestExpandRanges:
+    def test_basic(self):
+        out = P.expand_ranges(np.array([0, 10]), np.array([3, 2]))
+        assert list(out) == [0, 1, 2, 10, 11]
+
+    def test_empty_counts(self):
+        out = P.expand_ranges(np.array([5, 7, 9]), np.array([0, 2, 0]))
+        assert list(out) == [7, 8]
+
+    def test_all_empty(self):
+        assert P.expand_ranges(np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
+
+
+class TestSegments:
+    def test_segment_starts(self):
+        keys = np.array([1, 1, 3, 3, 3, 9])
+        assert list(P.segment_starts(keys)) == [0, 2, 5]
+
+    def test_segment_starts_empty(self):
+        assert P.segment_starts(np.array([], dtype=np.int64)).size == 0
+
+    def test_segment_reduce(self):
+        vals = np.array([1.0, 2.0, 4.0, 8.0])
+        out = P.segment_reduce(np.add, vals, np.array([0, 2]))
+        assert list(out) == [3.0, 12.0]
+
+    def test_segment_reduce_logical(self):
+        vals = np.array([0.0, 0.0, 3.0])
+        out = P.segment_reduce(np.logical_or, vals, np.array([0, 2]), logical=True)
+        assert list(out) == [False, True]
+
+
+class TestCoalesce:
+    def test_merges_duplicates(self):
+        keys = np.array([5, 1, 5, 1, 9])
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        k, v = P.coalesce(keys, vals, np.add)
+        assert list(k) == [1, 5, 9]
+        assert list(v) == [6.0, 4.0, 5.0]
+
+    def test_no_duplicates_fast_path(self):
+        keys = np.array([3, 1, 2])
+        vals = np.array([30.0, 10.0, 20.0])
+        k, v = P.coalesce(keys, vals, np.add)
+        assert list(k) == [1, 2, 3]
+        assert list(v) == [10.0, 20.0, 30.0]
+
+    def test_min_monoid(self):
+        keys = np.array([1, 1])
+        vals = np.array([5.0, 2.0])
+        k, v = P.coalesce(keys, vals, np.minimum)
+        assert list(v) == [2.0]
+
+
+class TestMembership:
+    def test_in_sorted(self):
+        hay = np.array([2, 5, 9])
+        needles = np.array([1, 2, 5, 6, 9, 10])
+        assert list(P.in_sorted(needles, hay)) == [False, True, True, False, True, False]
+
+    def test_in_sorted_empty_haystack(self):
+        assert not P.in_sorted(np.array([1, 2]), np.array([], dtype=np.int64)).any()
+
+
+class TestUnionMerge:
+    def test_applies_op_only_where_both(self):
+        # eWiseAdd semantics: pass-through where only one side stored
+        ka, va = np.array([1, 3]), np.array([10.0, 30.0])
+        kb, vb = np.array([3, 5]), np.array([300.0, 500.0])
+        k, v = P.union_merge(ka, va, kb, vb, np.add, np.dtype(np.float64))
+        assert list(k) == [1, 3, 5]
+        assert list(v) == [10.0, 330.0, 500.0]
+
+    def test_argument_order_preserved(self):
+        # Minus is not commutative: A value must be the left operand
+        ka, va = np.array([0]), np.array([10.0])
+        kb, vb = np.array([0]), np.array([3.0])
+        _, v = P.union_merge(ka, va, kb, vb, np.subtract, np.dtype(np.float64))
+        assert v[0] == 7.0
+
+    def test_one_side_empty(self):
+        ka, va = np.array([], dtype=np.int64), np.array([], dtype=np.float64)
+        kb, vb = np.array([2]), np.array([5.0])
+        k, v = P.union_merge(ka, va, kb, vb, np.add, np.dtype(np.float64))
+        assert list(k) == [2] and list(v) == [5.0]
+        k, v = P.union_merge(kb, vb, ka, va, np.add, np.dtype(np.float64))
+        assert list(k) == [2] and list(v) == [5.0]
+
+    def test_mixed_dtypes_promote(self):
+        ka, va = np.array([0]), np.array([1], dtype=np.int32)
+        kb, vb = np.array([0]), np.array([0.5], dtype=np.float64)
+        _, v = P.union_merge(ka, va, kb, vb, np.add, np.dtype(np.float64))
+        assert v[0] == 1.5
+
+
+class TestIntersectMerge:
+    def test_keeps_only_common(self):
+        ka, va = np.array([1, 3, 5]), np.array([1.0, 3.0, 5.0])
+        kb, vb = np.array([3, 5, 7]), np.array([30.0, 50.0, 70.0])
+        k, v = P.intersect_merge(ka, va, kb, vb, np.multiply, np.dtype(np.float64))
+        assert list(k) == [3, 5]
+        assert list(v) == [90.0, 250.0]
+
+    def test_disjoint(self):
+        ka, va = np.array([1]), np.array([1.0])
+        kb, vb = np.array([2]), np.array([2.0])
+        k, v = P.intersect_merge(ka, va, kb, vb, np.multiply, np.dtype(np.float64))
+        assert k.size == 0 and v.size == 0
+
+    def test_empty_operand(self):
+        ka = np.array([], dtype=np.int64)
+        va = np.array([], dtype=np.float64)
+        kb, vb = np.array([2]), np.array([2.0])
+        k, v = P.intersect_merge(ka, va, kb, vb, np.multiply, np.dtype(np.float64))
+        assert k.size == 0
+
+
+class TestRestrict:
+    def test_keep_in_mask(self):
+        keys = np.array([1, 2, 3, 4])
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        k, v = P.restrict(keys, vals, np.array([2, 4]), complement=False)
+        assert list(k) == [2, 4]
+
+    def test_complement_never_densifies(self):
+        keys = np.array([1, 2, 3, 4])
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        k, v = P.restrict(keys, vals, np.array([2, 4]), complement=True)
+        assert list(k) == [1, 3]
+
+
+class TestKeys:
+    def test_encode_decode_roundtrip(self):
+        rows = np.array([0, 1, 7])
+        cols = np.array([3, 0, 9])
+        keys = P.encode_keys(rows, cols, 10)
+        r, c = P.decode_keys(keys, 10)
+        assert list(r) == list(rows) and list(c) == list(cols)
+
+    def test_keys_are_row_major_ordered(self):
+        keys = P.encode_keys(np.array([0, 1]), np.array([9, 0]), 10)
+        assert keys[0] < keys[1]
+
+
+class TestSpGEMM:
+    def test_identity_times_matrix(self):
+        # I @ B == B over (Plus, Times)
+        b_indptr = np.array([0, 2, 3])
+        b_indices = np.array([0, 1, 1])
+        b_vals = np.array([5.0, 6.0, 7.0])
+        a_rows = np.array([0, 1])
+        a_cols = np.array([0, 1])
+        a_vals = np.array([1.0, 1.0])
+        keys, vals = P.spgemm_expand(
+            a_rows, a_cols, a_vals, b_indptr, b_indices, b_vals, 2,
+            np.multiply, np.add, np.dtype(np.float64),
+        )
+        rows, cols = P.decode_keys(keys, 2)
+        got = {(int(r), int(c)): v for r, c, v in zip(rows, cols, vals)}
+        assert got == {(0, 0): 5.0, (0, 1): 6.0, (1, 1): 7.0}
+
+    def test_duplicate_products_reduced(self):
+        # A = [1 1] as a row; B has two rows hitting the same column
+        a_rows = np.array([0, 0])
+        a_cols = np.array([0, 1])
+        a_vals = np.array([1.0, 1.0])
+        b_indptr = np.array([0, 1, 2])
+        b_indices = np.array([0, 0])
+        b_vals = np.array([3.0, 4.0])
+        keys, vals = P.spgemm_expand(
+            a_rows, a_cols, a_vals, b_indptr, b_indices, b_vals, 1,
+            np.multiply, np.add, np.dtype(np.float64),
+        )
+        assert vals[0] == 7.0 and keys.size == 1
+
+    def test_empty_result(self):
+        keys, vals = P.spgemm_expand(
+            np.array([0]), np.array([0]), np.array([1.0]),
+            np.array([0, 0]), np.array([], dtype=np.int64), np.array([], dtype=np.float64),
+            3, np.multiply, np.add, np.dtype(np.float64),
+        )
+        assert keys.size == 0
+
+
+class TestSpMV:
+    def test_row_products(self):
+        indptr = np.array([0, 2, 2, 3])
+        indices = np.array([0, 1, 2])
+        values = np.array([1.0, 2.0, 3.0])
+        x_dense = np.array([10.0, 20.0, 30.0])
+        x_present = np.array([True, True, False])
+        idx, vals = P.spmv_gather(
+            indptr, indices, values, 3, x_dense, x_present,
+            np.multiply, np.add, np.dtype(np.float64),
+        )
+        # row 0: 1*10 + 2*20 = 50; row 1 empty; row 2 hits absent x -> none
+        assert list(idx) == [0]
+        assert list(vals) == [50.0]
+
+    def test_no_present_entries(self):
+        idx, vals = P.spmv_gather(
+            np.array([0, 1]), np.array([0]), np.array([1.0]), 1,
+            np.array([0.0]), np.array([False]),
+            np.multiply, np.add, np.dtype(np.float64),
+        )
+        assert idx.size == 0
+
+
+class TestFinalize:
+    def test_no_mask_no_accum_replaces(self):
+        k, v = P.finalize(
+            np.array([0]), np.array([9.0]),
+            np.array([1]), np.array([5.0]),
+            np.dtype(np.float64), None, False, False, None,
+        )
+        assert list(k) == [1] and list(v) == [5.0]
+
+    def test_accum_unions(self):
+        k, v = P.finalize(
+            np.array([0, 1]), np.array([1.0, 2.0]),
+            np.array([1, 2]), np.array([20.0, 30.0]),
+            np.dtype(np.float64), None, False, False, np.add,
+        )
+        assert list(k) == [0, 1, 2]
+        assert list(v) == [1.0, 22.0, 30.0]
+
+    def test_mask_merge_keeps_outside(self):
+        k, v = P.finalize(
+            np.array([0, 1]), np.array([1.0, 2.0]),
+            np.array([0, 1]), np.array([10.0, 20.0]),
+            np.dtype(np.float64), np.array([1]), False, False, None,
+        )
+        # inside mask {1}: new value; outside: old value kept
+        assert list(k) == [0, 1]
+        assert list(v) == [1.0, 20.0]
+
+    def test_mask_replace_drops_outside(self):
+        k, v = P.finalize(
+            np.array([0, 1]), np.array([1.0, 2.0]),
+            np.array([0, 1]), np.array([10.0, 20.0]),
+            np.dtype(np.float64), np.array([1]), False, True, None,
+        )
+        assert list(k) == [1] and list(v) == [20.0]
+
+    def test_mask_deletes_inside_entries_missing_from_result(self):
+        # T empty inside the mask -> the old C entry there is deleted
+        k, v = P.finalize(
+            np.array([0, 1]), np.array([1.0, 2.0]),
+            np.array([], dtype=np.int64), np.array([], dtype=np.float64),
+            np.dtype(np.float64), np.array([1]), False, False, None,
+        )
+        assert list(k) == [0]
+
+    def test_complemented_mask(self):
+        k, v = P.finalize(
+            np.array([0, 1]), np.array([1.0, 2.0]),
+            np.array([0, 1]), np.array([10.0, 20.0]),
+            np.dtype(np.float64), np.array([1]), True, False, None,
+        )
+        # complement of {1} over stored keys: inside = {0}
+        assert list(k) == [0, 1]
+        assert list(v) == [10.0, 2.0]
+
+    def test_output_dtype_cast(self):
+        _, v = P.finalize(
+            np.array([], dtype=np.int64), np.array([], dtype=np.float64),
+            np.array([0]), np.array([2.7]),
+            np.dtype(np.int64), None, False, False, None,
+        )
+        assert v.dtype == np.int64 and v[0] == 2

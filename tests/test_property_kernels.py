@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on the core invariants of the
+backend: algebraic structure of the operator table, set structure of the
+elementwise operations, mask/replace laws, and transpose involution."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro as gb
+from repro.backend import primitives as P
+from repro.backend import reference as R
+from repro.backend.kernels import (
+    OpDesc,
+    ewise_add_vec,
+    ewise_mult_vec,
+    mxm,
+    mxv,
+    reduce_vec_scalar,
+)
+from repro.backend.smatrix import SparseMatrix
+from repro.backend.svector import SparseVector
+
+SIZE = 10
+
+
+@st.composite
+def sparse_vec(draw, size=SIZE, dtype=np.float64):
+    n = draw(st.integers(0, size))
+    idx = draw(
+        st.lists(st.integers(0, size - 1), min_size=n, max_size=n, unique=True)
+    )
+    if np.dtype(dtype).kind == "f":
+        vals = draw(
+            st.lists(
+                st.floats(-100, 100, allow_nan=False), min_size=n, max_size=n
+            )
+        )
+    else:
+        vals = draw(st.lists(st.integers(-100, 100), min_size=n, max_size=n))
+    return SparseVector.from_coo(size, idx, np.asarray(vals, dtype=dtype), dtype)
+
+
+@st.composite
+def sparse_mat(draw, nrows=SIZE, ncols=SIZE, dtype=np.float64):
+    n = draw(st.integers(0, nrows * ncols // 2))
+    flat = draw(
+        st.lists(st.integers(0, nrows * ncols - 1), min_size=n, max_size=n, unique=True)
+    )
+    if np.dtype(dtype).kind == "f":
+        vals = draw(
+            st.lists(st.floats(-100, 100, allow_nan=False), min_size=n, max_size=n)
+        )
+    else:
+        vals = draw(st.lists(st.integers(-100, 100), min_size=n, max_size=n))
+    rows = [f // ncols for f in flat]
+    cols = [f % ncols for f in flat]
+    return SparseMatrix.from_coo(nrows, ncols, rows, cols, np.asarray(vals, dtype=dtype), dtype)
+
+
+class TestEWiseStructure:
+    @settings(max_examples=60, deadline=None)
+    @given(u=sparse_vec(), v=sparse_vec())
+    def test_add_pattern_is_union(self, u, v):
+        w = ewise_add_vec(SparseVector.empty(SIZE, np.float64), u, v, "Plus")
+        assert set(w.indices) == set(u.indices) | set(v.indices)
+
+    @settings(max_examples=60, deadline=None)
+    @given(u=sparse_vec(), v=sparse_vec())
+    def test_mult_pattern_is_intersection(self, u, v):
+        w = ewise_mult_vec(SparseVector.empty(SIZE, np.float64), u, v, "Times")
+        assert set(w.indices) == set(u.indices) & set(v.indices)
+
+    @settings(max_examples=40, deadline=None)
+    @given(u=sparse_vec(), v=sparse_vec())
+    def test_add_passthrough_outside_intersection(self, u, v):
+        w = ewise_add_vec(SparseVector.empty(SIZE, np.float64), u, v, "Plus")
+        du, dv, dw = u.to_dict(), v.to_dict(), w.to_dict()
+        for i, val in dw.items():
+            if i in du and i not in dv:
+                assert val == du[i]
+            if i in dv and i not in du:
+                assert val == dv[i]
+
+    @settings(max_examples=40, deadline=None)
+    @given(u=sparse_vec(), v=sparse_vec())
+    def test_plus_commutes(self, u, v):
+        w1 = ewise_add_vec(SparseVector.empty(SIZE, np.float64), u, v, "Plus")
+        w2 = ewise_add_vec(SparseVector.empty(SIZE, np.float64), v, u, "Plus")
+        assert w1.to_dict() == w2.to_dict()
+
+
+class TestMaskLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(u=sparse_vec(), v=sparse_vec(), m=sparse_vec(dtype=np.int64), c=sparse_vec())
+    def test_mask_and_complement_partition(self, u, v, m, c):
+        """Masked + complement-masked replace outputs partition the
+        unmasked output's pattern."""
+        plain = ewise_add_vec(c.copy(), u, v, "Plus", OpDesc())
+        masked = ewise_add_vec(
+            c.copy(), u, v, "Plus", OpDesc(mask=m, replace=True)
+        )
+        comp = ewise_add_vec(
+            c.copy(), u, v, "Plus", OpDesc(mask=m, complement=True, replace=True)
+        )
+        got = set(masked.indices) | set(comp.indices)
+        assert got == set(plain.indices)
+        assert set(masked.indices).isdisjoint(set(comp.indices))
+
+    @settings(max_examples=60, deadline=None)
+    @given(u=sparse_vec(), v=sparse_vec(), m=sparse_vec(dtype=np.int64), c=sparse_vec())
+    def test_replace_output_within_mask(self, u, v, m, c):
+        masked = ewise_add_vec(c, u, v, "Plus", OpDesc(mask=m, replace=True))
+        mask_true = set(m.bool_indices())
+        assert set(masked.indices) <= mask_true
+
+    @settings(max_examples=60, deadline=None)
+    @given(u=sparse_vec(), v=sparse_vec(), m=sparse_vec(dtype=np.int64), c=sparse_vec())
+    def test_merge_preserves_outside_mask(self, u, v, m, c):
+        merged = ewise_add_vec(c, u, v, "Plus", OpDesc(mask=m, replace=False))
+        mask_true = set(m.bool_indices())
+        dc, dm = c.to_dict(), merged.to_dict()
+        for i in range(SIZE):
+            if i not in mask_true:
+                assert (i in dm) == (i in dc)
+                if i in dc:
+                    assert dm[i] == dc[i]
+
+
+class TestSemiringLaws:
+    @settings(max_examples=30, deadline=None)
+    @given(a=sparse_mat(), u=sparse_vec(), v=sparse_vec())
+    def test_mxv_distributes_over_ewise_add(self, a, u, v):
+        """A(u ⊕ v) == Au ⊕ Av over (plus, times) — linearity, which only
+        holds when u and v have identical patterns (GraphBLAS implied
+        zeros break it otherwise)."""
+        common = sorted(set(u.indices) & set(v.indices))
+        if not common:
+            return
+        uu = SparseVector.from_coo(SIZE, common, [u.get(i) for i in common])
+        vv = SparseVector.from_coo(SIZE, common, [v.get(i) for i in common])
+        s = ewise_add_vec(SparseVector.empty(SIZE, np.float64), uu, vv, "Plus")
+        left = mxv(SparseVector.empty(SIZE, np.float64), a, s, "Plus", "Times")
+        au = mxv(SparseVector.empty(SIZE, np.float64), a, uu, "Plus", "Times")
+        av = mxv(SparseVector.empty(SIZE, np.float64), a, vv, "Plus", "Times")
+        right = ewise_add_vec(SparseVector.empty(SIZE, np.float64), au, av, "Plus")
+        lgot, rgot = left.to_dict(), right.to_dict()
+        assert set(lgot) == set(rgot)
+        for k in lgot:
+            assert abs(lgot[k] - rgot[k]) < 1e-6 * max(1.0, abs(rgot[k]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=sparse_mat(), b=sparse_mat(), c=sparse_mat())
+    def test_mxm_associates(self, a, b, c):
+        """(AB)C == A(BC) over (plus, times), up to float tolerance."""
+        empty = lambda: SparseMatrix.empty(SIZE, SIZE, np.float64)
+        ab = mxm(empty(), a, b, "Plus", "Times")
+        left = mxm(empty(), ab, c, "Plus", "Times")
+        bc = mxm(empty(), b, c, "Plus", "Times")
+        right = mxm(empty(), a, bc, "Plus", "Times")
+        lgot, rgot = left.to_dict(), right.to_dict()
+        for k in set(lgot) | set(rgot):
+            lv = lgot.get(k, 0.0)
+            rv = rgot.get(k, 0.0)
+            assert abs(lv - rv) < 1e-6 * max(1.0, abs(lv), abs(rv))
+
+    @settings(max_examples=40, deadline=None)
+    @given(u=sparse_vec())
+    def test_reduce_min_bounds_all(self, u):
+        if u.nvals == 0:
+            return
+        m = reduce_vec_scalar(u, "Min")
+        assert all(m <= v for v in u.values)
+
+    @settings(max_examples=40, deadline=None)
+    @given(u=sparse_vec())
+    def test_reduce_plus_equals_sum(self, u):
+        s = reduce_vec_scalar(u, "Plus")
+        assert abs(s - float(u.values.sum())) < 1e-9
+
+
+class TestTranspose:
+    @settings(max_examples=50, deadline=None)
+    @given(a=sparse_mat(nrows=7, ncols=11))
+    def test_involution(self, a):
+        assert a.transposed().transposed().to_dict() == a.to_dict()
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=sparse_mat(nrows=7, ncols=11))
+    def test_transpose_swaps_coordinates(self, a):
+        t = a.transposed().to_dict()
+        assert t == {(j, i): v for (i, j), v in a.to_dict().items()}
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=sparse_mat(), b=sparse_mat())
+    def test_product_transpose_identity(self, a, b):
+        """(AB)ᵀ == BᵀAᵀ over the arithmetic semiring."""
+        empty = lambda: SparseMatrix.empty(SIZE, SIZE, np.float64)
+        left = mxm(empty(), a, b, "Plus", "Times").transposed()
+        right = mxm(empty(), b, a, "Plus", "Times", transpose_a=True, transpose_b=True)
+        lgot, rgot = left.to_dict(), right.to_dict()
+        assert set(lgot) == set(rgot)
+        for k in lgot:
+            assert abs(lgot[k] - rgot[k]) < 1e-6 * max(1.0, abs(rgot[k]))
+
+
+class TestBuildInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(v=sparse_vec())
+    def test_indices_strictly_increasing(self, v):
+        assert (np.diff(v.indices) > 0).all() if v.nvals > 1 else True
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=sparse_mat())
+    def test_csr_invariants(self, a):
+        assert a.indptr[0] == 0
+        assert a.indptr[-1] == a.nvals
+        assert (np.diff(a.indptr) >= 0).all()
+        for i in range(a.nrows):
+            row = a.indices[a.indptr[i] : a.indptr[i + 1]]
+            if row.size > 1:
+                assert (np.diff(row) > 0).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(v=sparse_vec())
+    def test_dense_roundtrip(self, v):
+        dense = v.to_dense()
+        back = {i: dense[i] for i in v.indices}
+        assert back == v.to_dict()

@@ -1,0 +1,177 @@
+"""Failure-injection and concurrency tests for the JIT pipeline.
+
+The disk cache is shared state touched by multiple threads/processes;
+these tests pin down the behaviours that keep it safe: one compile per
+spec under racing threads, graceful errors on corrupted artifacts and
+failing compilers, and stale-version invalidation.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro.backend.kernels import OpDesc
+from repro.backend.svector import SparseVector
+from repro.exceptions import BackendUnavailable, CompilationError
+from repro.jit.cache import JitCache
+from repro.jit.pycodegen import generate_source
+from repro.jit.pyengine import PyJitEngine
+from repro.jit.spec import KernelSpec
+
+
+def _spec(**extra):
+    base = dict(
+        a="float64", u="float64", c="float64", t_dtype="float64",
+        add="Plus", mult="Times", ta=False,
+        mask="none", comp=False, repl=False, accum="none",
+    )
+    base.update(extra)
+    return KernelSpec.make("mxv", **base)
+
+
+class TestConcurrency:
+    def test_racing_threads_compile_once(self, tmp_path):
+        cache = JitCache(tmp_path)
+        spec = _spec()
+        barrier = threading.Barrier(8)
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait()
+                results.append(cache.get_module(spec, generate_source))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.stats.compiles == 1
+        assert all(m is results[0] for m in results)
+
+    def test_concurrent_dsl_use_across_threads(self, tmp_path):
+        """Different threads share the engine's cache safely and keep
+        independent operator contexts."""
+        errors = []
+
+        def worker(seed):
+            try:
+                rng = np.random.default_rng(seed)
+                a = gb.Matrix(rng.uniform(size=(6, 6)))
+                u = gb.Vector(rng.uniform(size=6))
+                with gb.MinPlusSemiring:
+                    w = gb.Vector(a @ u)
+                assert w.nvals > 0
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestFailureInjection:
+    def test_corrupted_disk_artifact_raises_cleanly(self, tmp_path):
+        cache = JitCache(tmp_path)
+        spec = _spec()
+        cache.get_module(spec, generate_source)
+        cache.clear_memory()
+        artifact = next(tmp_path.glob("pygb_mxv_*.py"))
+        artifact.write_text("def run(:::  # truncated write")
+        with pytest.raises(CompilationError):
+            cache.get_module(spec, generate_source)
+
+    def test_generator_exception_propagates(self, tmp_path):
+        cache = JitCache(tmp_path)
+
+        def broken(_spec):
+            raise RuntimeError("generator exploded")
+
+        with pytest.raises(RuntimeError):
+            cache.get_module(_spec(), broken)
+        # and nothing half-written is left behind to poison later lookups
+        assert not list(tmp_path.glob("pygb_mxv_*.py"))
+        cache.get_module(_spec(), generate_source)  # recovers
+
+    def test_cache_dir_created_on_demand(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "cache"
+        cache = JitCache(target)
+        cache.get_module(_spec(), generate_source)
+        assert target.is_dir()
+
+    def test_version_bump_isolates_artifacts(self, tmp_path):
+        """Specs embed the codegen version, so two library versions can
+        never load each other's artifacts (they hash differently)."""
+        import repro.jit.spec as spec_mod
+
+        h1 = _spec().key_hash
+        old = spec_mod.CODEGEN_VERSION
+        try:
+            spec_mod.CODEGEN_VERSION = old + 1
+            h2 = _spec().key_hash  # key embeds the version at access time
+        finally:
+            spec_mod.CODEGEN_VERSION = old
+        assert h1 != h2
+
+
+@pytest.mark.cpp
+class TestCppFailureInjection:
+    @pytest.fixture(autouse=True)
+    def _need_compiler(self):
+        from repro.jit.cppengine import compiler_available
+
+        if not compiler_available():
+            pytest.skip("no C++ toolchain")
+
+    def test_invalid_cpp_source_reports_gxx_stderr(self, tmp_path):
+        from repro.jit.cppengine import CppJitEngine
+
+        eng = CppJitEngine(JitCache(tmp_path))
+        with pytest.raises(CompilationError) as exc:
+            eng.cache.get_module(
+                _spec(), lambda s: "this is not C++ at all;",
+                suffix=".cpp", compiler=eng._compile,
+            )
+        assert "g++" in str(exc.value) or "error" in str(exc.value)
+
+    def test_missing_compiler_raises_backend_unavailable(self, monkeypatch):
+        import repro.jit.cppengine as ce
+
+        monkeypatch.setattr(ce, "find_cxx_compiler", lambda: None)
+        with pytest.raises(BackendUnavailable):
+            ce.CppJitEngine()
+
+
+class TestEngineRobustness:
+    def test_pyjit_engine_survives_cache_clear_mid_session(self, tmp_path):
+        eng = PyJitEngine(JitCache(tmp_path))
+        u = SparseVector.from_coo(4, [0], [1.0])
+        w = SparseVector.empty(4, np.float64)
+        eng.ewise_add_vec(w, u, u, "Plus", OpDesc())
+        eng.cache.clear_disk()
+        out = eng.ewise_add_vec(w, u, u, "Plus", OpDesc())
+        assert out.to_dict() == {0: 2.0}
+
+    def test_env_selected_engine(self, monkeypatch):
+        monkeypatch.setenv("PYGB_BACKEND", "interpreted")
+        import repro.core.context as ctx
+
+        # a thread with no cached engine resolves from the env var
+        seen = {}
+
+        def worker():
+            seen["name"] = gb.current_backend_engine().name
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["name"] == "interpreted"

@@ -1,0 +1,120 @@
+"""Unit tests for the backend CSR sparse matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.backend.smatrix import SparseMatrix
+from repro.exceptions import DimensionMismatch, IndexOutOfBounds
+
+
+def mk(nrows, ncols, triples, dtype=np.float64):
+    rows = [t[0] for t in triples]
+    cols = [t[1] for t in triples]
+    vals = [t[2] for t in triples]
+    return SparseMatrix.from_coo(nrows, ncols, rows, cols, vals, dtype)
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = SparseMatrix.empty(3, 4, np.int64)
+        assert m.shape == (3, 4) and m.nvals == 0
+        assert list(m.indptr) == [0, 0, 0, 0]
+
+    def test_from_coo_sorted_layout(self):
+        m = mk(3, 3, [(2, 0, 1.0), (0, 2, 2.0), (0, 1, 3.0)])
+        rows, cols, vals = m.coo()
+        assert list(rows) == [0, 0, 2]
+        assert list(cols) == [1, 2, 0]
+        assert list(vals) == [3.0, 2.0, 1.0]
+
+    def test_duplicates_last_wins_default(self):
+        m = mk(2, 2, [(0, 0, 1.0), (0, 0, 5.0)])
+        assert m.nvals == 1 and m.get(0, 0) == 5.0
+
+    def test_duplicates_with_plus(self):
+        m = SparseMatrix.from_coo(2, 2, [0, 0], [0, 0], [1.0, 5.0], dup_op="Plus")
+        assert m.get(0, 0) == 6.0
+
+    def test_from_dense_stores_all(self):
+        m = SparseMatrix.from_dense([[1, 0], [0, 4]])
+        assert m.nvals == 4  # zeros are stored entries for dense input
+
+    def test_bounds_checked(self):
+        with pytest.raises(IndexOutOfBounds):
+            mk(2, 2, [(2, 0, 1.0)])
+        with pytest.raises(IndexOutOfBounds):
+            mk(2, 2, [(0, 2, 1.0)])
+
+    def test_ragged_coo_rejected(self):
+        with pytest.raises(DimensionMismatch):
+            SparseMatrix.from_coo(2, 2, [0, 1], [0], [1.0, 2.0])
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(DimensionMismatch):
+            SparseMatrix.from_dense(np.zeros(3))
+
+
+class TestAccess:
+    def test_get(self):
+        m = mk(3, 3, [(1, 2, 9.0)])
+        assert m.get(1, 2) == 9.0
+        assert m.get(1, 1) is None
+        assert m.get(0, 0, default=0.0) == 0.0
+        with pytest.raises(IndexOutOfBounds):
+            m.get(3, 0)
+
+    def test_row_lengths(self):
+        m = mk(3, 3, [(0, 0, 1.0), (0, 1, 1.0), (2, 2, 1.0)])
+        assert list(m.row_lengths()) == [2, 0, 1]
+
+    def test_row_vector(self):
+        m = mk(3, 4, [(1, 0, 5.0), (1, 3, 6.0)])
+        rv = m.row_vector(1)
+        assert rv.size == 4
+        assert rv.to_dict() == {0: 5.0, 3: 6.0}
+        assert m.row_vector(0).nvals == 0
+        with pytest.raises(IndexOutOfBounds):
+            m.row_vector(3)
+
+    def test_to_dense(self):
+        m = mk(2, 2, [(0, 1, 3.0)])
+        d = m.to_dense()
+        assert d[0, 1] == 3.0 and d[1, 0] == 0
+
+    def test_to_dict(self):
+        m = mk(2, 2, [(0, 1, 3.0), (1, 0, 4.0)])
+        assert m.to_dict() == {(0, 1): 3.0, (1, 0): 4.0}
+
+
+class TestTranspose:
+    def test_transpose_values(self):
+        m = mk(2, 3, [(0, 2, 1.0), (1, 0, 2.0)])
+        t = m.transposed()
+        assert t.shape == (3, 2)
+        assert t.get(2, 0) == 1.0 and t.get(0, 1) == 2.0
+
+    def test_transpose_is_cached(self):
+        m = mk(2, 3, [(0, 2, 1.0)])
+        assert m.transposed() is m.transposed()
+
+    def test_transpose_roundtrip_shares_cache(self):
+        m = mk(2, 3, [(0, 2, 1.0)])
+        assert m.transposed().transposed() is m
+
+    def test_transpose_of_empty(self):
+        m = SparseMatrix.empty(2, 5, np.float64)
+        t = m.transposed()
+        assert t.shape == (5, 2) and t.nvals == 0
+
+
+class TestTransforms:
+    def test_astype(self):
+        m = mk(2, 2, [(0, 0, 2.9)])
+        t = m.astype(np.int32)
+        assert t.dtype == np.int32 and t.get(0, 0) == 2
+
+    def test_copy_independent(self):
+        m = mk(2, 2, [(0, 0, 1.0)])
+        c = m.copy()
+        c.values[0] = 7.0
+        assert m.get(0, 0) == 1.0

@@ -1,0 +1,102 @@
+"""Unit tests for the backend sparse vector container."""
+
+import numpy as np
+import pytest
+
+from repro.backend.svector import SparseVector
+from repro.exceptions import DimensionMismatch, IndexOutOfBounds
+
+
+class TestConstruction:
+    def test_empty(self):
+        v = SparseVector.empty(5, np.float64)
+        assert v.size == 5 and v.nvals == 0 and v.dtype == np.float64
+
+    def test_from_coo_sorts(self):
+        v = SparseVector.from_coo(10, [5, 1, 3], [50.0, 10.0, 30.0])
+        assert list(v.indices) == [1, 3, 5]
+        assert list(v.values) == [10.0, 30.0, 50.0]
+
+    def test_from_coo_scalar_broadcast(self):
+        v = SparseVector.from_coo(10, [1, 2, 3], 7, dtype=np.int64)
+        assert list(v.values) == [7, 7, 7]
+
+    def test_duplicates_last_wins_by_default(self):
+        # GBTL build semantics: dup combines with Second
+        v = SparseVector.from_coo(10, [2, 2, 2], [1.0, 2.0, 3.0])
+        assert v.nvals == 1 and v.get(2) == 3.0
+
+    def test_duplicates_with_plus(self):
+        v = SparseVector.from_coo(10, [2, 5, 2], [1.0, 9.0, 3.0], dup_op="Plus")
+        assert v.get(2) == 4.0 and v.get(5) == 9.0
+
+    def test_duplicates_first(self):
+        v = SparseVector.from_coo(10, [2, 2], [1.0, 3.0], dup_op="First")
+        assert v.get(2) == 1.0
+
+    def test_from_dense_stores_zeros(self):
+        # dense construction stores every element, including zeros
+        v = SparseVector.from_dense([0.0, 1.0, 0.0])
+        assert v.nvals == 3
+
+    def test_index_out_of_bounds(self):
+        with pytest.raises(IndexOutOfBounds):
+            SparseVector.from_coo(3, [3], [1.0])
+        with pytest.raises(IndexOutOfBounds):
+            SparseVector.from_coo(3, [-1], [1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(DimensionMismatch):
+            SparseVector.from_coo(5, [0, 1], [1.0])
+
+    def test_from_dense_rejects_2d(self):
+        with pytest.raises(DimensionMismatch):
+            SparseVector.from_dense(np.zeros((2, 2)))
+
+
+class TestAccess:
+    def test_get_present_and_absent(self):
+        v = SparseVector.from_coo(5, [1, 3], [1.5, 3.5])
+        assert v.get(1) == 1.5
+        assert v.get(2) is None
+        assert v.get(2, default=0.0) == 0.0
+
+    def test_get_bounds(self):
+        v = SparseVector.empty(5, float)
+        with pytest.raises(IndexOutOfBounds):
+            v.get(5)
+
+    def test_to_dense_fill(self):
+        v = SparseVector.from_coo(4, [1], [2.0])
+        assert list(v.to_dense(fill=-1)) == [-1, 2.0, -1, -1]
+
+    def test_dense_lookup(self):
+        v = SparseVector.from_coo(4, [0, 2], [5.0, 7.0])
+        vals, present = v.dense_lookup()
+        assert list(present) == [True, False, True, False]
+        assert vals[0] == 5.0 and vals[2] == 7.0
+
+    def test_bool_indices_drops_falsy(self):
+        v = SparseVector.from_coo(5, [0, 1, 2], [1.0, 0.0, 2.0])
+        assert list(v.bool_indices()) == [0, 2]
+
+    def test_to_dict(self):
+        v = SparseVector.from_coo(5, [4, 0], [4.0, 0.5])
+        assert v.to_dict() == {0: 0.5, 4: 4.0}
+
+
+class TestTransforms:
+    def test_astype_casts(self):
+        v = SparseVector.from_coo(3, [0], [2.7])
+        w = v.astype(np.int64)
+        assert w.dtype == np.int64 and w.get(0) == 2
+
+    def test_astype_same_dtype_is_identity(self):
+        v = SparseVector.from_coo(3, [0], [2.7])
+        assert v.astype(np.float64) is v
+
+    def test_copy_is_independent(self):
+        v = SparseVector.from_coo(3, [0], [1.0])
+        w = v.copy()
+        w.values[0] = 9.0
+        assert v.get(0) == 1.0

@@ -1,0 +1,261 @@
+"""Table I conformance: every operation row of the paper's Table I,
+written in the exact PyGB notation of column 3, checked against the
+C API mathematical semantics of column 2.
+
+Each test names the Table I row it covers.
+"""
+
+import numpy as np
+import pytest
+
+import repro as gb
+
+
+@pytest.fixture
+def data(engine):
+    A = gb.Matrix([[1.0, 2.0], [3.0, 4.0]])
+    B = gb.Matrix([[5.0, 6.0], [7.0, 8.0]])
+    u = gb.Vector([1.0, 2.0])
+    v = gb.Vector([10.0, 20.0])
+    M = gb.Matrix(([True, True], ([0, 1], [0, 1])), shape=(2, 2), dtype=bool)
+    m = gb.Vector(([True], [0]), shape=(2,), dtype=bool)
+    return A, B, u, v, M, m
+
+
+class TestMxM:
+    def test_mxm_plain(self, data):
+        # C[M, z] = A @ B
+        A, B, u, v, M, m = data
+        C = gb.Matrix(shape=(2, 2), dtype=float)
+        C[None] = A @ B
+        assert np.allclose(C.to_numpy(), A.to_numpy() @ B.to_numpy())
+
+    def test_mxm_masked_with_replace_flag(self, data):
+        A, B, u, v, M, m = data
+        C = gb.Matrix([[100.0, 100.0], [100.0, 100.0]])
+        C[M, True] = A @ B
+        # mask selects the diagonal; replace clears the rest
+        assert C.nvals == 2
+        assert C[0, 0] == 19.0 and C[1, 1] == 50.0
+
+
+class TestMxV:
+    def test_mxv(self, data):
+        # w[m, z] = A @ u
+        A, B, u, v, M, m = data
+        w = gb.Vector(shape=(2,), dtype=float)
+        w[None] = A @ u
+        assert list(w.to_numpy()) == [5.0, 11.0]
+
+    def test_mxv_masked(self, data):
+        A, B, u, v, M, m = data
+        w = gb.Vector([100.0, 200.0])
+        w[m] = A @ u
+        assert w[0] == 5.0 and w[1] == 200.0  # merge keeps outside
+
+
+class TestEWiseMult:
+    def test_matrix(self, data):
+        # C[M, z] = A * B
+        A, B, u, v, M, m = data
+        C = gb.Matrix(shape=(2, 2), dtype=float)
+        C[None] = A * B
+        assert np.allclose(C.to_numpy(), A.to_numpy() * B.to_numpy())
+
+    def test_vector(self, data):
+        # w[m, z] = u * v
+        A, B, u, v, M, m = data
+        w = gb.Vector(shape=(2,), dtype=float)
+        w[None] = u * v
+        assert list(w.to_numpy()) == [10.0, 40.0]
+
+
+class TestEWiseAdd:
+    def test_matrix(self, data):
+        # C[M, z] = A + B
+        A, B, u, v, M, m = data
+        C = gb.Matrix(shape=(2, 2), dtype=float)
+        C[None] = A + B
+        assert np.allclose(C.to_numpy(), A.to_numpy() + B.to_numpy())
+
+    def test_vector(self, data):
+        # w[m, z] = u + v
+        A, B, u, v, M, m = data
+        w = gb.Vector(shape=(2,), dtype=float)
+        w[None] = u + v
+        assert list(w.to_numpy()) == [11.0, 22.0]
+
+
+class TestReduce:
+    def test_reduce_rows_to_vector(self, data):
+        # w[m, z] = reduce(monoid, A)
+        A, B, u, v, M, m = data
+        w = gb.Vector(shape=(2,), dtype=float)
+        w[None] = gb.reduce(gb.PlusMonoid, A)
+        assert list(w.to_numpy()) == [3.0, 7.0]
+
+    def test_reduce_matrix_to_scalar(self, data):
+        # s = reduce(A)
+        A, B, u, v, M, m = data
+        assert gb.reduce(A) == 10.0
+
+    def test_reduce_vector_to_scalar(self, data):
+        # s = reduce(u)
+        A, B, u, v, M, m = data
+        assert gb.reduce(u) == 3.0
+
+    def test_reduce_with_context_monoid(self, data):
+        A, B, u, v, M, m = data
+        with gb.MinMonoid:
+            assert gb.reduce(A) == 1.0
+
+
+class TestApply:
+    def test_apply_matrix(self, data):
+        # C[M, z] = apply(A)
+        A, B, u, v, M, m = data
+        C = gb.Matrix(shape=(2, 2), dtype=float)
+        with gb.UnaryOp("AdditiveInverse"):
+            C[None] = gb.apply(A)
+        assert np.allclose(C.to_numpy(), -A.to_numpy())
+
+    def test_apply_vector(self, data):
+        # w[m, z] = apply(u)
+        A, B, u, v, M, m = data
+        w = gb.Vector(shape=(2,), dtype=float)
+        with gb.UnaryOp("MultiplicativeInverse"):
+            w[None] = gb.apply(u)
+        assert list(w.to_numpy()) == [1.0, 0.5]
+
+
+class TestTranspose:
+    def test_transpose_row(self, data):
+        # C[M, z] = A.T
+        A, B, u, v, M, m = data
+        C = gb.Matrix(shape=(2, 2), dtype=float)
+        C[None] = A.T
+        assert np.allclose(C.to_numpy(), A.to_numpy().T)
+
+
+class TestExtract:
+    def test_extract_submatrix(self, data):
+        # C[M, z] = A[i, j]
+        A, B, u, v, M, m = data
+        C = gb.Matrix(shape=(1, 2), dtype=float)
+        C[None] = A[[1], [0, 1]]
+        assert list(C.to_numpy()[0]) == [3.0, 4.0]
+
+    def test_extract_subvector(self, data):
+        # w[m, z] = u[i]
+        A, B, u, v, M, m = data
+        w = gb.Vector(shape=(2,), dtype=float)
+        w[None] = u[[1, 0]]
+        assert list(w.to_numpy()) == [2.0, 1.0]
+
+    def test_extract_matrix_row_as_vector(self, data):
+        A, B, u, v, M, m = data
+        w = gb.Vector(A[0, :])
+        assert list(w.to_numpy()) == [1.0, 2.0]
+
+    def test_extract_matrix_column_as_vector(self, data):
+        A, B, u, v, M, m = data
+        w = gb.Vector(A[:, 1])
+        assert list(w.to_numpy()) == [2.0, 4.0]
+
+    def test_extract_with_slices(self, data):
+        A, B, u, v, M, m = data
+        C = gb.Matrix(A[0:2, 0:1])
+        assert C.shape == (2, 1)
+        assert C[1, 0] == 3.0
+
+
+class TestAssign:
+    def test_assign_submatrix(self, data):
+        # C[M, z][i, j] = A
+        A, B, u, v, M, m = data
+        C = gb.Matrix(shape=(4, 4), dtype=float)
+        C[0:2, 2:4] = A
+        assert C.nvals == 4
+        assert C[1, 3] == 4.0
+
+    def test_assign_subvector(self, data):
+        # w[m, z][i] = u
+        A, B, u, v, M, m = data
+        w = gb.Vector(shape=(5,), dtype=float)
+        w[[3, 4]] = u
+        assert w.get(3) == 1.0 and w.get(4) == 2.0
+
+    def test_masked_assign_through_view(self, data):
+        # w[m][i] = u  (Table I row: w⟨m⟩(i) = u)
+        A, B, u, v, M, m = data
+        w = gb.Vector([100.0, 200.0])
+        w[m][[0, 1]] = u
+        assert w[0] == 1.0    # in mask: new value
+        assert w[1] == 200.0  # outside mask: old value kept
+
+    def test_assign_constant_to_slice(self, data):
+        # page_rank[:] = 1.0 / rows (Fig. 7 line 13)
+        A, B, u, v, M, m = data
+        w = gb.Vector(shape=(4,), dtype=float)
+        w[:] = 0.25
+        assert w.nvals == 4 and set(w.to_numpy()) == {0.25}
+
+    def test_assign_vector_to_slice(self, data):
+        # page_rank[:] = new_rank (Fig. 7 line 33)
+        A, B, u, v, M, m = data
+        w = gb.Vector(shape=(2,), dtype=float)
+        w[:] = u
+        assert w.isequal(u)
+
+    def test_masked_constant_assign(self, data):
+        # levels[front][:] = depth (Fig. 2b line 5)
+        A, B, u, v, M, m = data
+        levels = gb.Vector(shape=(2,), dtype=int)
+        levels[m][:] = 7
+        assert levels.to_numpy().tolist() == [7, 0]
+        assert levels.nvals == 1
+
+    def test_assign_matrix_expression_forces_temp(self, data):
+        # C[2:4, 2:4] = A @ B (Sec. IV: forced intermediate copy)
+        A, B, u, v, M, m = data
+        C = gb.Matrix(shape=(4, 4), dtype=float)
+        C[2:4, 2:4] = A @ B
+        assert C[2, 2] == 19.0 and C[3, 3] == 50.0
+
+    def test_assign_row_and_column(self, data):
+        A, B, u, v, M, m = data
+        C = gb.Matrix(shape=(3, 2), dtype=float)
+        C[1, :] = u
+        assert C[1, 0] == 1.0 and C[1, 1] == 2.0
+        D = gb.Matrix(shape=(2, 3), dtype=float)
+        D[:, 2] = u
+        assert D[0, 2] == 1.0 and D[1, 2] == 2.0
+
+
+class TestMaskVariants:
+    def test_complemented_mask(self, data):
+        # frontier[~levels] = ... (Fig. 2b line 7)
+        A, B, u, v, M, m = data
+        w = gb.Vector([1.0, 2.0])
+        w[~m] = gb.apply(v)
+        assert w[0] == 1.0   # in mask complement... index 0 masked out
+        assert w[1] == 20.0  # complement includes index 1
+
+    def test_value_mask_coerces_to_bool(self, data):
+        # "its data will be coerced to boolean values" (Sec. III)
+        A, B, u, v, M, m = data
+        num_mask = gb.Vector(([0.0, 3.5], [0, 1]), shape=(2,))
+        w = gb.Vector([1.0, 2.0])
+        w[num_mask] = gb.apply(v)
+        assert w[0] == 1.0   # 0.0 is false
+        assert w[1] == 20.0  # 3.5 is true
+
+    def test_none_is_nomask(self, data):
+        A, B, u, v, M, m = data
+        w = gb.Vector([1.0, 2.0])
+        w[None] = gb.apply(v)
+        assert list(w.to_numpy()) == [10.0, 20.0]
+
+    def test_double_complement_restores(self, data):
+        A, B, u, v, M, m = data
+        assert (~~m) is m

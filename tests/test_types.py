@@ -1,0 +1,114 @@
+"""Unit tests for the dtype system (paper Sec. V: NumPy dtype ↔ C++ POD
+mapping and C++ upcasting rules)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainMismatch
+from repro.types import (
+    CXX_NAMES,
+    POD_TYPES,
+    cxx_name,
+    default_dtype_for,
+    dtype_token,
+    normalize_dtype,
+    promote,
+)
+
+
+class TestPodTypes:
+    def test_exactly_eleven_pod_types(self):
+        # "Each of these can be any of the 11 plain old data types" (Sec. V)
+        assert len(POD_TYPES) == 11
+        assert len(CXX_NAMES) == 11
+
+    def test_every_pod_type_has_a_cxx_name(self):
+        for dt in POD_TYPES:
+            assert CXX_NAMES[dt]
+
+    @pytest.mark.parametrize(
+        "dtype,name",
+        [
+            (np.bool_, "bool"),
+            (np.int8, "int8_t"),
+            (np.int64, "int64_t"),
+            (np.uint8, "uint8_t"),
+            (np.uint64, "uint64_t"),
+            (np.float32, "float"),
+            (np.float64, "double"),
+        ],
+    )
+    def test_cxx_names(self, dtype, name):
+        assert cxx_name(dtype) == name
+
+
+class TestNormalize:
+    def test_python_int_maps_to_int64(self):
+        assert normalize_dtype(int) == np.dtype(np.int64)
+
+    def test_python_float_maps_to_float64(self):
+        assert normalize_dtype(float) == np.dtype(np.float64)
+
+    def test_python_bool_maps_to_bool(self):
+        assert normalize_dtype(bool) == np.dtype(np.bool_)
+
+    def test_string_names_accepted(self):
+        assert normalize_dtype("int32") == np.dtype(np.int32)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(DomainMismatch):
+            normalize_dtype(np.complex128)
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            normalize_dtype(None)
+
+    def test_token_roundtrip(self):
+        for dt in POD_TYPES:
+            assert normalize_dtype(dtype_token(dt)) == dt
+
+
+class TestDefaults:
+    def test_int_data_defaults_to_int64(self):
+        # "the DSL will fall back to default Python types: 64-bit ints"
+        assert default_dtype_for([1, 2, 3]) == np.dtype(np.int64)
+
+    def test_float_data_defaults_to_float64(self):
+        assert default_dtype_for([1.5, 2.5]) == np.dtype(np.float64)
+
+    def test_bool_data_stays_bool(self):
+        assert default_dtype_for([True, False]) == np.dtype(np.bool_)
+
+    def test_numpy_array_keeps_supported_dtype(self):
+        assert default_dtype_for(np.zeros(3, dtype=np.float32)) == np.dtype(np.float32)
+
+    def test_object_data_rejected(self):
+        with pytest.raises(DomainMismatch):
+            default_dtype_for(["a", object()])
+
+
+class TestPromotion:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (np.int8, np.int8, np.int8),
+            (np.int8, np.int64, np.int64),
+            (np.int32, np.float32, np.float64),
+            (np.int64, np.float64, np.float64),
+            (np.uint8, np.int8, np.int16),
+            (np.bool_, np.int32, np.int32),
+            (np.float32, np.float64, np.float64),
+        ],
+    )
+    def test_cpp_style_upcast(self, a, b, expected):
+        assert promote(a, b) == np.dtype(expected)
+
+    def test_promotion_is_symmetric(self):
+        for a in POD_TYPES:
+            for b in POD_TYPES:
+                assert promote(a, b) == promote(b, a)
+
+    def test_promotion_result_is_pod(self):
+        for a in POD_TYPES:
+            for b in POD_TYPES:
+                assert promote(a, b) in CXX_NAMES
