@@ -9,6 +9,7 @@
     python -m repro triangles graph.mtx        # assumes symmetric input
     python -m repro components graph.mtx       # assumes symmetric input
     python -m repro engines                    # available execution engines
+    python -m repro precompile                 # pre-build the C++ kernel cache
 
 Every command accepts ``--engine {interpreted,pyjit,cpp}``.
 """
@@ -123,6 +124,36 @@ def cmd_engines(args) -> int:
     return 0
 
 
+def cmd_precompile(args) -> int:
+    from .jit.cppengine import (
+        compiler_available,
+        find_cxx_compiler,
+        openmp_available,
+    )
+    from .jit.precompile import warm_cache
+
+    if not compiler_available():
+        print("no C++ toolchain (g++/c++) on PATH — nothing to precompile")
+        return 1
+    cxx = find_cxx_compiler()
+    print(f"compiler: {cxx}")
+    print(f"OpenMP:   {'yes' if openmp_available(cxx) else 'no (serial kernels)'}")
+    report = warm_cache(
+        parallel=False if args.serial else None,
+        max_workers=args.jobs,
+    )
+    flavour = "parallel" if report["parallel"] else "serial"
+    print(
+        f"warmed {report['requested']} {flavour} kernels with "
+        f"{report['jobs']} concurrent jobs in {report['seconds']:.2f}s: "
+        f"{report['compiled']} compiled, {report['disk_hits']} already on disk, "
+        f"{report['memory_hits']} in memory"
+    )
+    for key, err in report["failed"]:
+        print(f"FAILED {key}: {err}", file=sys.stderr)
+    return 1 if report["failed"] else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__,
@@ -167,6 +198,20 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("engines", help="list available execution engines")
     p.set_defaults(fn=cmd_engines)
+
+    p = sub.add_parser(
+        "precompile",
+        help="pre-build the algorithm kernel cache with concurrent g++ jobs",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="concurrent compile jobs (default: $PYGB_COMPILE_JOBS or auto)",
+    )
+    p.add_argument(
+        "--serial", action="store_true",
+        help="warm serial kernels even when OpenMP is available",
+    )
+    p.set_defaults(fn=cmd_precompile)
 
     args = parser.parse_args(argv)
     if args.engine:

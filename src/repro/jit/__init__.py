@@ -24,6 +24,7 @@ with the *module retrieval* stage owned by this package:
 """
 
 from .cache import JitCache, cache_statistics, clear_memory_cache, default_cache
+from .precompile import algorithm_kernel_specs, algorithm_module_specs, warm_cache
 from .spec import KernelSpec
 
 __all__ = [
@@ -32,4 +33,7 @@ __all__ = [
     "default_cache",
     "cache_statistics",
     "clear_memory_cache",
+    "warm_cache",
+    "algorithm_kernel_specs",
+    "algorithm_module_specs",
 ]

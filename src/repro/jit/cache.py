@@ -6,6 +6,12 @@ and only then invokes the compiler; compiled binaries persist on disk so
 same code".  :class:`JitCache` reproduces that lookup order for both the
 Python and the C++ code generators and counts every outcome, which is
 what the compilation-time experiment (EXPERIMENTS.md) reports.
+
+Locking is per spec, not global: two threads racing on the *same* spec
+dedupe into one compile, while different specs generate and compile
+concurrently — which is what :meth:`JitCache.precompile` exploits to fan
+``g++`` jobs out over a thread pool (compilation is subprocess-bound, so
+Python threads are enough).
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import os
 import sys
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -27,7 +34,21 @@ __all__ = [
     "default_cache",
     "cache_statistics",
     "clear_memory_cache",
+    "default_compile_jobs",
 ]
+
+
+def default_compile_jobs() -> int:
+    """Worker count for parallel compilation: ``$PYGB_COMPILE_JOBS``, else
+    a small multiple of the core count (``g++`` is subprocess-bound, so a
+    little oversubscription hides process-spawn latency)."""
+    env = os.environ.get("PYGB_COMPILE_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(2, min(8, 2 * (os.cpu_count() or 1)))
 
 
 @dataclass
@@ -80,8 +101,10 @@ class JitCache:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else _default_cache_dir()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStatistics()
-        self._modules: dict[str, object] = {}
+        self._modules: dict[tuple[str, str], object] = {}
+        # guards _modules, _key_locks and stats; never held across a compile
         self._lock = threading.Lock()
+        self._key_locks: dict[tuple[str, str], threading.Lock] = {}
 
     # ------------------------------------------------------------------
     def get_module(self, spec: KernelSpec, generate, suffix: str = ".py", compiler=None):
@@ -92,6 +115,10 @@ class JitCache:
         ``compiler(src_path, out_path)`` turns it into a shared object and
         the import step is replaced by the engine's ``ctypes`` loader
         (in which case the returned object is whatever *compiler* loads).
+
+        Thread-safe with per-spec granularity: a miss only blocks callers
+        of the *same* spec while it generates/compiles; other specs
+        proceed concurrently.
         """
         # the same spec may exist as a Python module AND a compiled shared
         # object (the engines share one cache), so the artifact kind is
@@ -103,33 +130,88 @@ class JitCache:
             if mod is not None:
                 self.stats.memory_hits += 1
                 return mod
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            # a racer on the same spec may have built it while we waited
+            with self._lock:
+                mod = self._modules.get(key)
+                if mod is not None:
+                    self.stats.memory_hits += 1
+                    return mod
             artifact = self.cache_dir / f"{spec.module_stem}{kind}"
             if artifact.exists():
-                self.stats.disk_hits += 1
+                with self._lock:
+                    self.stats.disk_hits += 1
             else:
                 t0 = time.perf_counter()
                 source = generate(spec)
-                self.stats.generate_seconds += time.perf_counter() - t0
+                generate_s = time.perf_counter() - t0
                 src_path = self.cache_dir / f"{spec.module_stem}{suffix}"
                 self._atomic_write(src_path, source)
+                compile_s = 0.0
                 if compiler is not None:
                     t0 = time.perf_counter()
                     compiler(src_path, artifact)
-                    self.stats.compile_seconds += time.perf_counter() - t0
-                self.stats.compiles += 1
-                self.stats.per_func[spec.func] = self.stats.per_func.get(spec.func, 0) + 1
+                    compile_s = time.perf_counter() - t0
+                with self._lock:
+                    self.stats.generate_seconds += generate_s
+                    self.stats.compile_seconds += compile_s
+                    self.stats.compiles += 1
+                    self.stats.per_func[spec.func] = self.stats.per_func.get(spec.func, 0) + 1
             t0 = time.perf_counter()
             if compiler is not None:
                 mod = artifact  # engines wrap the .so path in ctypes themselves
             else:
                 mod = self._import_py(artifact, spec)
-            self.stats.import_seconds += time.perf_counter() - t0
-            self._modules[key] = mod
+            import_s = time.perf_counter() - t0
+            with self._lock:
+                self.stats.import_seconds += import_s
+                self._modules[key] = mod
             return mod
 
     # ------------------------------------------------------------------
+    def precompile(self, jobs, max_workers: int | None = None) -> dict:
+        """Build many specs concurrently (the non-blocking compile path).
+
+        *jobs* is an iterable of ``(spec, generate, suffix, compiler)``
+        tuples — the same arguments :meth:`get_module` takes.  Each job
+        runs through the normal lookup (so warm artifacts are hits, not
+        rebuilds) on a thread pool; per-spec locking means distinct specs
+        really do compile in parallel.  Failures are collected, not
+        raised.  Returns a report dict.
+        """
+        jobs = list(jobs)
+        workers = max_workers if max_workers else default_compile_jobs()
+        workers = max(1, min(workers, len(jobs)) if jobs else 1)
+        before = self.stats.snapshot()
+        failed: list[tuple[str, str]] = []
+        t0 = time.perf_counter()
+        if jobs:
+            with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="pygb-jit") as pool:
+                futures = {
+                    pool.submit(self.get_module, spec, generate, suffix, compiler): spec
+                    for spec, generate, suffix, compiler in jobs
+                }
+                for fut in as_completed(futures):
+                    spec = futures[fut]
+                    try:
+                        fut.result()
+                    except Exception as exc:  # report, keep building the rest
+                        failed.append((spec.key, str(exc)))
+        after = self.stats.snapshot()
+        return {
+            "requested": len(jobs),
+            "compiled": after["compiles"] - before["compiles"],
+            "disk_hits": after["disk_hits"] - before["disk_hits"],
+            "memory_hits": after["memory_hits"] - before["memory_hits"],
+            "failed": failed,
+            "seconds": time.perf_counter() - t0,
+            "jobs": workers,
+        }
+
+    # ------------------------------------------------------------------
     def _atomic_write(self, path: Path, text: str) -> None:
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
         tmp.write_text(text)
         os.replace(tmp, path)
 

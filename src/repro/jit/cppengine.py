@@ -22,6 +22,8 @@ import ctypes
 import os
 import shutil
 import subprocess
+import tempfile
+import threading
 from ctypes import POINTER, byref, c_double, c_int64, c_void_p
 from pathlib import Path
 
@@ -36,12 +38,18 @@ from ..backend.smatrix import SparseMatrix
 from ..backend.svector import SparseVector
 from ..exceptions import BackendUnavailable, CompilationError
 from .cache import JitCache, default_cache
-from .cppcodegen import generate_cpp_source
+from .cppcodegen import PARALLEL_FUNCS, generate_cpp_source
 from .gbtl_lite import GBTL_LITE_HEADER, HEADER_FILENAME
 from .pyengine import PyJitEngine, _desc_params
 from .spec import KernelSpec
 
-__all__ = ["CppJitEngine", "find_cxx_compiler", "compiler_available"]
+__all__ = [
+    "CppJitEngine",
+    "find_cxx_compiler",
+    "compiler_available",
+    "openmp_available",
+    "parallel_requested",
+]
 
 _I64 = np.dtype(np.int64)
 
@@ -61,6 +69,60 @@ def find_cxx_compiler() -> str | None:
 
 def compiler_available() -> bool:
     return find_cxx_compiler() is not None
+
+
+# ----------------------------------------------------------------------
+# OpenMP support probe (one tiny test compile per compiler, memoised)
+# ----------------------------------------------------------------------
+_OPENMP_PROBES: dict[str, bool] = {}
+_PROBE_LOCK = threading.Lock()
+
+
+def _probe_openmp(cxx: str) -> bool:
+    source = (
+        "#include <omp.h>\n"
+        'extern "C" int pygb_probe() { return omp_get_max_threads(); }\n'
+    )
+    try:
+        with tempfile.TemporaryDirectory(prefix="pygb_omp_probe_") as td:
+            src = Path(td) / "probe.cpp"
+            src.write_text(source)
+            out = Path(td) / "probe.so"
+            proc = subprocess.run(
+                [cxx, "-std=c++17", "-shared", "-fPIC", "-fopenmp",
+                 str(src), "-o", str(out)],
+                capture_output=True,
+                text=True,
+            )
+            return proc.returncode == 0 and out.exists()
+    except OSError:
+        return False
+
+
+def openmp_available(cxx: str | None = None) -> bool:
+    """Whether *cxx* (default: the discovered compiler) accepts
+    ``-fopenmp``; probed once per compiler path with a tiny test compile
+    and cached for the life of the process."""
+    cxx = cxx or find_cxx_compiler()
+    if cxx is None:
+        return False
+    with _PROBE_LOCK:
+        cached = _OPENMP_PROBES.get(cxx)
+    if cached is not None:
+        return cached
+    result = _probe_openmp(cxx)
+    with _PROBE_LOCK:
+        _OPENMP_PROBES[cxx] = result
+    return result
+
+
+def parallel_requested() -> bool:
+    """The ``$PYGB_PARALLEL`` runtime switch (default: on).  Re-read on
+    every dispatch so it can be toggled without rebuilding engines."""
+    value = os.environ.get("PYGB_PARALLEL")
+    if value is None:
+        return True
+    return value.strip().lower() not in ("", "0", "false", "off", "no")
 
 
 def _scalar_pair(value, prefer_float: bool):
@@ -158,35 +220,51 @@ class CppJitEngine:
         self.cache = cache if cache is not None else default_cache()
         self._fallback = PyJitEngine(self.cache)
         self._libs: dict[str, ctypes.CDLL] = {}
+        self._libs_lock = threading.Lock()
+        self._header_lock = threading.Lock()
         self._header_written = False
 
     # ------------------------------------------------------------------
     # compilation plumbing
     # ------------------------------------------------------------------
+    def parallel_enabled(self) -> bool:
+        """Whether new specs should request OpenMP kernels: the
+        ``$PYGB_PARALLEL`` switch is on *and* the compiler passed the
+        ``-fopenmp`` probe (silent serial fallback otherwise)."""
+        return parallel_requested() and openmp_available(self.cxx)
+
+    def _spec(self, func: str, **params) -> KernelSpec:
+        """Build the kernel spec, marking parallel-capable operations
+        ``par=1`` so serial and OpenMP artifacts hash (and cache)
+        separately."""
+        if func in PARALLEL_FUNCS and self.parallel_enabled():
+            params["par"] = True
+        return KernelSpec.make(func, **params)
+
     def _ensure_header(self) -> None:
         if self._header_written:
             return
-        path = self.cache.cache_dir / HEADER_FILENAME
-        if not path.exists() or path.read_text() != GBTL_LITE_HEADER:
-            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-            tmp.write_text(GBTL_LITE_HEADER)
-            os.replace(tmp, path)
-        self._header_written = True
+        with self._header_lock:
+            if self._header_written:
+                return
+            path = self.cache.cache_dir / HEADER_FILENAME
+            if not path.exists() or path.read_text() != GBTL_LITE_HEADER:
+                tmp = path.with_name(
+                    f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+                )
+                tmp.write_text(GBTL_LITE_HEADER)
+                os.replace(tmp, path)
+            self._header_written = True
 
-    def _compile(self, src_path: Path, out_path: Path) -> None:
+    def _compile(self, src_path: Path, out_path: Path, parallel: bool = False) -> None:
         self._ensure_header()
-        tmp = out_path.with_name(f"{out_path.name}.{os.getpid()}.tmp")
-        cmd = [
-            self.cxx,
-            "-std=c++17",
-            "-O2",
-            "-shared",
-            "-fPIC",
-            f"-I{self.cache.cache_dir}",
-            str(src_path),
-            "-o",
-            str(tmp),
-        ]
+        tmp = out_path.with_name(
+            f"{out_path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        cmd = [self.cxx, "-std=c++17", "-O2", "-shared", "-fPIC"]
+        if parallel and openmp_available(self.cxx):
+            cmd.append("-fopenmp")
+        cmd += [f"-I{self.cache.cache_dir}", str(src_path), "-o", str(tmp)]
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode != 0:
             raise CompilationError(
@@ -194,23 +272,33 @@ class CppJitEngine:
             )
         os.replace(tmp, out_path)
 
+    def _compile_parallel(self, src_path: Path, out_path: Path) -> None:
+        self._compile(src_path, out_path, parallel=True)
+
+    def compiler_for(self, spec: KernelSpec):
+        """The compile callable matching *spec*: ``par=1`` specs build
+        with ``-fopenmp`` (when supported), everything else with the
+        serial flag set."""
+        return self._compile_parallel if spec.flag("par") else self._compile
+
     def _lib(self, spec: KernelSpec, scalar_out: bool = False) -> ctypes.CDLL:
         artifact = self.cache.get_module(
-            spec, generate_cpp_source, suffix=".cpp", compiler=self._compile
+            spec, generate_cpp_source, suffix=".cpp", compiler=self.compiler_for(spec)
         )
         key = str(artifact)
-        lib = self._libs.get(key)
-        if lib is None:
-            lib = ctypes.CDLL(key)
-            lib.pygb_run.restype = None if scalar_out else c_int64
-            self._libs[key] = lib
+        with self._libs_lock:
+            lib = self._libs.get(key)
+            if lib is None:
+                lib = ctypes.CDLL(key)
+                lib.pygb_run.restype = None if scalar_out else c_int64
+                self._libs[key] = lib
         return lib
 
     # ------------------------------------------------------------------
     # result unmarshalling
     # ------------------------------------------------------------------
     @staticmethod
-    def _copy_values(lib, ptr, nnz: int, dtype) -> np.ndarray:
+    def _copy_values(ptr, nnz: int, dtype) -> np.ndarray:
         dt = np.dtype(dtype)
         cdt = np.dtype(np.uint8) if dt == np.bool_ else dt
         raw = ctypes.string_at(ptr, nnz * cdt.itemsize)
@@ -225,7 +313,7 @@ class CppJitEngine:
             raise CompilationError("C++ kernel signalled failure")
         if nnz > 0:
             idx = np.ctypeslib.as_array(out_idx, shape=(nnz,)).copy()
-            vals = self._copy_values(lib, out_vals, nnz, dtype)
+            vals = self._copy_values(out_vals, nnz, dtype)
         else:
             idx = np.empty(0, _I64)
             vals = np.empty(0, np.dtype(dtype))
@@ -245,7 +333,7 @@ class CppJitEngine:
         indptr = np.ctypeslib.as_array(out_indptr, shape=(nrows + 1,)).copy()
         if nnz > 0:
             indices = np.ctypeslib.as_array(out_indices, shape=(nnz,)).copy()
-            values = self._copy_values(lib, out_values, nnz, dtype)
+            values = self._copy_values(out_values, nnz, dtype)
         else:
             indices = np.empty(0, _I64)
             values = np.empty(0, np.dtype(dtype))
@@ -260,7 +348,7 @@ class CppJitEngine:
     def mxv(self, out, a, u, add, mult, desc, ta=False):
         if ta:
             a = a.transposed()
-        spec = KernelSpec.make(
+        spec = self._spec(
             "mxv",
             a=KernelSpec.dt(a.dtype),
             u=KernelSpec.dt(u.dtype),
@@ -281,7 +369,7 @@ class CppJitEngine:
     def vxm(self, out, u, a, add, mult, desc, ta=False):
         if ta:
             a = a.transposed()
-        spec = KernelSpec.make(
+        spec = self._spec(
             "vxm",
             a=KernelSpec.dt(a.dtype),
             u=KernelSpec.dt(u.dtype),
@@ -304,7 +392,7 @@ class CppJitEngine:
             a = a.transposed()
         if tb:
             b = b.transposed()
-        spec = KernelSpec.make(
+        spec = self._spec(
             "mxm",
             a=KernelSpec.dt(a.dtype),
             b=KernelSpec.dt(b.dtype),
@@ -323,7 +411,7 @@ class CppJitEngine:
         return self._run_mat_out(lib, p, out.nrows, out.ncols, out.dtype)
 
     def _ewise_vec(self, func, out, u, v, op, desc):
-        spec = KernelSpec.make(
+        spec = self._spec(
             func,
             a=KernelSpec.dt(u.dtype),
             b=KernelSpec.dt(v.dtype),
@@ -351,7 +439,7 @@ class CppJitEngine:
             a = a.transposed()
         if tb:
             b = b.transposed()
-        spec = KernelSpec.make(
+        spec = self._spec(
             func,
             a=KernelSpec.dt(a.dtype),
             b=KernelSpec.dt(b.dtype),
@@ -386,7 +474,7 @@ class CppJitEngine:
 
     def apply_vec(self, out, u, op_spec, desc):
         dconst, iconst, form, op, side = self._apply_spec_parts(op_spec, out.dtype)
-        spec = KernelSpec.make(
+        spec = self._spec(
             "apply_vec",
             a=KernelSpec.dt(u.dtype),
             c=KernelSpec.dt(out.dtype),
@@ -408,7 +496,7 @@ class CppJitEngine:
         if ta:
             a = a.transposed()
         dconst, iconst, form, op, side = self._apply_spec_parts(op_spec, out.dtype)
-        spec = KernelSpec.make(
+        spec = self._spec(
             "apply_mat",
             a=KernelSpec.dt(a.dtype),
             c=KernelSpec.dt(out.dtype),
@@ -430,7 +518,7 @@ class CppJitEngine:
         if identity is None:
             identity = DEFAULT_IDENTITY_NAME[op]
         ident = identity_value(identity, x.dtype)
-        spec = KernelSpec.make(func, a=KernelSpec.dt(x.dtype), op=op)
+        spec = self._spec(func, a=KernelSpec.dt(x.dtype), op=op)
         lib = self._lib(spec, scalar_out=True)
         dt = np.dtype(x.dtype)
         out = np.zeros(1, dtype=np.uint8 if dt == np.bool_ else dt)
@@ -456,7 +544,7 @@ class CppJitEngine:
     def reduce_rows(self, out, a, op, desc, ta=False):
         if ta:
             a = a.transposed()
-        spec = KernelSpec.make(
+        spec = self._spec(
             "reduce_rows",
             a=KernelSpec.dt(a.dtype),
             c=KernelSpec.dt(out.dtype),
@@ -471,7 +559,7 @@ class CppJitEngine:
         return self._run_vec_out(lib, p, out.size, out.dtype)
 
     def assign_vec(self, out, u, idx, desc):
-        spec = KernelSpec.make(
+        spec = self._spec(
             "assign_vec",
             a=KernelSpec.dt(u.dtype),
             c=KernelSpec.dt(out.dtype),
@@ -486,7 +574,7 @@ class CppJitEngine:
         return self._run_vec_out(lib, p, out.size, out.dtype)
 
     def assign_vec_scalar(self, out, value, idx, desc):
-        spec = KernelSpec.make(
+        spec = self._spec(
             "assign_vec_scalar",
             c=KernelSpec.dt(out.dtype),
             **_desc_params(desc),
@@ -502,7 +590,7 @@ class CppJitEngine:
         return self._run_vec_out(lib, p, out.size, out.dtype)
 
     def extract_vec(self, out, u, idx, desc):
-        spec = KernelSpec.make(
+        spec = self._spec(
             "extract_vec",
             a=KernelSpec.dt(u.dtype),
             c=KernelSpec.dt(out.dtype),

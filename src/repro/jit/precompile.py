@@ -1,0 +1,137 @@
+"""Ahead-of-time cache warming (non-blocking compilation, paper Sec. V).
+
+The paper notes that dynamic compilation "can be amortized over future
+runs" but every *first* run still pays the g++ latency inline.  This
+module removes that cost up front: :func:`warm_cache` fans the known
+algorithm kernel set out over :meth:`JitCache.precompile`'s thread pool,
+so by the time an algorithm dispatches its first operation the shared
+object is already on disk (a cache hit, not a compile).
+
+The spec list below was captured by tracing every bundled algorithm
+(BFS, SSSP, PageRank, triangle count — both the operation-at-a-time and
+the whole-algorithm compiled versions) under the ``cpp`` engine; the
+``test_warm_cache_covers_algorithms`` drift guard re-derives it the same
+way, so additions to the algorithms fail loudly here instead of silently
+compiling at run time.
+"""
+
+from __future__ import annotations
+
+from .cache import JitCache, default_cache
+from .cppcodegen import PARALLEL_FUNCS, generate_cpp_source
+from .spec import KernelSpec
+
+__all__ = ["algorithm_kernel_specs", "algorithm_module_specs", "warm_cache"]
+
+# (func, params) for every per-operation kernel the bundled algorithms
+# dispatch.  Keep sorted by func for readability.
+_ALGORITHM_KERNELS: tuple[tuple[str, dict], ...] = (
+    ("apply_mat", dict(a="float64", accum="none", c="float64", comp=0,
+                       form="bind", mask="none", op="Times", repl=0,
+                       side="second")),
+    ("apply_mat", dict(a="int64", accum="none", c="float64", comp=0,
+                       form="unary", mask="none", op="Identity", repl=0,
+                       side="none")),
+    ("apply_vec", dict(a="float64", accum="none", c="float64", comp=0,
+                       form="bind", mask="none", op="Plus", repl=0,
+                       side="second")),
+    ("assign_vec", dict(a="float64", accum="none", c="float64", comp=0,
+                        mask="none", repl=0)),
+    ("assign_vec_scalar", dict(accum="none", c="float64", comp=0,
+                               mask="none", repl=0)),
+    ("assign_vec_scalar", dict(accum="none", c="int64", comp=0,
+                               mask="value", repl=0)),
+    ("ewise_add_vec", dict(a="float64", accum="none", b="float64",
+                           c="float64", comp=0, mask="none", op="Minus",
+                           repl=0, t_dtype="float64")),
+    ("ewise_mult_vec", dict(a="float64", accum="none", b="float64",
+                            c="float64", comp=0, mask="none", op="Times",
+                            repl=0, t_dtype="float64")),
+    ("mxm", dict(a="int64", accum="none", add="Plus", b="int64", c="int64",
+                 comp=0, mask="value", mult="Times", repl=0,
+                 t_dtype="int64")),
+    ("mxv", dict(a="float64", accum="Min", add="Min", c="float64", comp=0,
+                 mask="none", mult="Plus", repl=0, t_dtype="float64",
+                 u="float64")),
+    ("mxv", dict(a="int64", accum="Min", add="Min", c="int64", comp=0,
+                 mask="none", mult="Second", repl=0, t_dtype="int64",
+                 u="int64")),
+    ("mxv", dict(a="int64", accum="none", add="LogicalOr", c="bool", comp=1,
+                 mask="value", mult="LogicalAnd", repl=1, t_dtype="bool",
+                 u="bool")),
+    ("reduce_mat_scalar", dict(a="int64", op="Plus")),
+    ("reduce_vec_scalar", dict(a="float64", op="Plus")),
+    ("vxm", dict(a="float64", accum="Second", add="Plus", c="float64",
+                 comp=0, mask="none", mult="Times", repl=0,
+                 t_dtype="float64", u="float64")),
+)
+
+# (func, vtype) for the whole-algorithm compiled modules (Fig. 10
+# versions 2/3).
+_ALGORITHM_MODULES: tuple[tuple[str, str], ...] = (
+    ("algo_bfs", "int64"),
+    ("algo_pagerank", "float64"),
+    ("algo_sssp", "float64"),
+    ("algo_triangle_count", "int64"),
+)
+
+
+def algorithm_kernel_specs(parallel: bool = False) -> list[KernelSpec]:
+    """The per-operation kernel specs the bundled algorithms use, with
+    ``par=1`` stamped on parallel-capable functions when *parallel*."""
+    specs = []
+    for func, params in _ALGORITHM_KERNELS:
+        p = dict(params)
+        if parallel and func in PARALLEL_FUNCS:
+            p["par"] = True
+        specs.append(KernelSpec.make(func, **p))
+    return specs
+
+
+def algorithm_module_specs(parallel: bool = False) -> list[KernelSpec]:
+    """Specs of the whole-algorithm C++ modules."""
+    specs = []
+    for func, vtype in _ALGORITHM_MODULES:
+        p: dict = {"vtype": vtype}
+        if parallel:
+            p["par"] = True
+        specs.append(KernelSpec.make(func, **p))
+    return specs
+
+
+def warm_cache(
+    cache: JitCache | None = None,
+    parallel: bool | None = None,
+    include_algorithm_modules: bool = True,
+    max_workers: int | None = None,
+) -> dict:
+    """Pre-build the algorithm kernel set with concurrent g++ jobs.
+
+    *parallel* selects which artifact flavour to warm; ``None`` means
+    "whatever the engine would dispatch right now" (``$PYGB_PARALLEL``
+    plus the ``-fopenmp`` probe).  Returns the :meth:`JitCache.precompile`
+    report dict with ``openmp`` and ``parallel`` keys added.
+    """
+    # imported late: cppengine raises BackendUnavailable without a
+    # toolchain, and importing it triggers no probe by itself
+    from .algorithm_codegen import generate_algorithm_source
+    from .cppengine import CppJitEngine, openmp_available
+
+    cache = cache if cache is not None else default_cache()
+    engine = CppJitEngine(cache)
+    if parallel is None:
+        parallel = engine.parallel_enabled()
+
+    jobs = [
+        (spec, generate_cpp_source, ".cpp", engine.compiler_for(spec))
+        for spec in algorithm_kernel_specs(parallel)
+    ]
+    if include_algorithm_modules:
+        jobs += [
+            (spec, generate_algorithm_source, ".cpp", engine.compiler_for(spec))
+            for spec in algorithm_module_specs(parallel)
+        ]
+    report = cache.precompile(jobs, max_workers=max_workers)
+    report["parallel"] = parallel
+    report["openmp"] = openmp_available(engine.cxx)
+    return report
