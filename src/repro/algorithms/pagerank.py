@@ -9,7 +9,10 @@ Times eWiseMult for the squared error, a Plus-reduce, and the rank copy).
 Note on fidelity: Fig. 7 contains two obvious listing artifacts (an
 uninitialised ``i`` and a trailing dead-code block after ``return``); we
 keep the loop structure and per-iteration operation sequence exactly and
-drop the artifacts, like the GBTL version in Fig. 8 does.
+drop the artifacts, like the GBTL version in Fig. 8 does.  The squared
+error is expressed as ``reduce(delta * delta)`` so the planner can fuse
+the eWiseMult with the reduction into one kernel; with ``PYGB_FUSION=0``
+it still runs as the listing's separate eWiseMult + reduce pair.
 """
 
 from __future__ import annotations
@@ -58,8 +61,7 @@ def pagerank(
         with BinaryOp("Minus"):
             delta[None] = page_rank + new_rank
 
-        delta[None] = delta * delta
-        squared_error = gb.reduce(delta)
+        squared_error = gb.reduce(delta * delta)
 
         page_rank[:] = new_rank
         if (squared_error / rows) < threshold:

@@ -24,6 +24,19 @@ from .assign_ import (
     assign_mat_scalar,
     assign_vec_scalar,
 )
+from .fused import (
+    apply_result_dtype,
+    mxv_apply,
+    vxm_apply,
+    ewise_add_vec_apply,
+    ewise_mult_vec_apply,
+    ewise_add_mat_apply,
+    ewise_mult_mat_apply,
+    mxm_reduce_rows,
+    apply_assign_vec,
+    ewise_add_vec_reduce_scalar,
+    ewise_mult_vec_reduce_scalar,
+)
 
 __all__ = [
     "OpDesc",
@@ -50,4 +63,15 @@ __all__ = [
     "assign_vec",
     "assign_mat_scalar",
     "assign_vec_scalar",
+    "apply_result_dtype",
+    "mxv_apply",
+    "vxm_apply",
+    "ewise_add_vec_apply",
+    "ewise_mult_vec_apply",
+    "ewise_add_mat_apply",
+    "ewise_mult_mat_apply",
+    "mxm_reduce_rows",
+    "apply_assign_vec",
+    "ewise_add_vec_reduce_scalar",
+    "ewise_mult_vec_reduce_scalar",
 ]

@@ -105,15 +105,17 @@ class Container:
             self._set_masked(setkey, value, accum)
 
     def _set_masked(self, setkey: SetKey, value, accum: str | None):
+        from .plan import evaluate
+
         desc = build_desc(setkey, accum)
         if isinstance(value, Expression):
-            value.eval_into(self, desc)
+            evaluate(value, self, desc)
         elif isinstance(value, TransposeView):
-            TransposeExpr(value.parent).eval_into(self, desc)
+            evaluate(TransposeExpr(value.parent), self, desc)
         elif isinstance(value, Container):
             # C[M] = A: identity-apply of A into C under the mask; also
             # performs the dtype cast of `m[None] = graph` (Fig. 7 line 8)
-            Apply(value, operators.UnaryOp("Identity")).eval_into(self, desc)
+            evaluate(Apply(value, operators.UnaryOp("Identity")), self, desc)
         elif _is_scalar(value):
             # C[M] = s: masked constant fill over the whole container
             self._assign(setkey, self._full_slice(), value, accum)

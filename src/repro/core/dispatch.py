@@ -25,13 +25,16 @@ from __future__ import annotations
 from ..backend import kernels as K
 from ..exceptions import BackendUnavailable
 
-__all__ = ["InterpretedEngine", "make_engine"]
+__all__ = ["InterpretedEngine", "CountingEngine", "make_engine"]
 
 
 class InterpretedEngine:
     """Direct kernel calls with per-call operator resolution (no JIT)."""
 
     name = "interpreted"
+    #: the planner never rewrites plans for this engine — it is the
+    #: unfused ablation baseline the differential tests compare against
+    supports_fusion = False
 
     # -- multiplication ------------------------------------------------
     def mxm(self, out, a, b, add, mult, desc, ta=False, tb=False):
@@ -102,6 +105,67 @@ class InterpretedEngine:
 
     def assign_vec_scalar(self, out, value, idx, desc):
         return K.assign_vec_scalar(out, value, idx, desc)
+
+    # -- fused reference kernels -----------------------------------------
+    # Exposed so the differential tests can call the two-step reference
+    # compositions directly; the planner itself skips this engine
+    # (supports_fusion is False), so normal dispatch never reaches these.
+    def mxv_apply(self, out, a, u, add, mult, op_spec, desc, ta=False):
+        return K.mxv_apply(out, a, u, add, mult, op_spec, desc, ta)
+
+    def vxm_apply(self, out, u, a, add, mult, op_spec, desc, ta=False):
+        return K.vxm_apply(out, u, a, add, mult, op_spec, desc, ta)
+
+    def ewise_add_vec_apply(self, out, u, v, op, op_spec, desc):
+        return K.ewise_add_vec_apply(out, u, v, op, op_spec, desc)
+
+    def ewise_mult_vec_apply(self, out, u, v, op, op_spec, desc):
+        return K.ewise_mult_vec_apply(out, u, v, op, op_spec, desc)
+
+    def ewise_add_mat_apply(self, out, a, b, op, op_spec, desc, ta=False, tb=False):
+        return K.ewise_add_mat_apply(out, a, b, op, op_spec, desc, ta, tb)
+
+    def ewise_mult_mat_apply(self, out, a, b, op, op_spec, desc, ta=False, tb=False):
+        return K.ewise_mult_mat_apply(out, a, b, op, op_spec, desc, ta, tb)
+
+    def mxm_reduce_rows(self, out, a, b, add, mult, rop, desc, ta=False, tb=False):
+        return K.mxm_reduce_rows(out, a, b, add, mult, rop, desc, ta, tb)
+
+    def apply_assign_vec(self, out, u, op_spec, idx, desc):
+        return K.apply_assign_vec(out, u, op_spec, idx, desc)
+
+    def ewise_add_vec_reduce_scalar(self, u, v, op, rop, identity):
+        return K.ewise_add_vec_reduce_scalar(u, v, op, rop, identity)
+
+    def ewise_mult_vec_reduce_scalar(self, u, v, op, rop, identity):
+        return K.ewise_mult_vec_reduce_scalar(u, v, op, rop, identity)
+
+
+class CountingEngine:
+    """Wraps any engine, counting calls per method name — the measurement
+    device behind the "fusion saves engine calls" tests and benchmarks."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.counts: dict = {}
+        self.name = f"counting({inner.name})"
+        self.supports_fusion = getattr(inner, "supports_fusion", False)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def __getattr__(self, attr):
+        value = getattr(self._inner, attr)
+        if not callable(value):
+            return value
+        counts = self.counts
+
+        def counted(*args, **kwargs):
+            counts[attr] = counts.get(attr, 0) + 1
+            return value(*args, **kwargs)
+
+        return counted
 
 
 def make_engine(name: str):

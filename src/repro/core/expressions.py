@@ -4,14 +4,17 @@ copying of data").
 
 ``A @ B`` does not compute anything: it returns an :class:`MXM` object
 wrapping the operands and the semiring captured from the enclosing
-``with`` block.  The expression is evaluated
+``with`` block.  Operands that are themselves expressions stay deferred
+too, so ``apply(A @ u)`` is a two-node DAG rather than a forced temporary
+plus a node.  The tree is evaluated
 
-* inside ``C.__setitem__`` — directly into ``C`` with ``C``'s mask,
-  accumulator and replace flag, with no temporary container; or
+* inside ``C.__setitem__`` — lowered through :mod:`repro.core.plan` into
+  ``C`` with ``C``'s mask, accumulator and replace flag (and, when the
+  engine supports it, with adjacent nodes fused into single kernels); or
 * by a *terminating operation*: any use that treats the expression like a
-  container (reading ``nvals``, combining it with another container,
-  reducing it, converting it) forces evaluation into a fresh container,
-  which is what plain ``C = A @ B`` yields.
+  container (reading ``nvals``, indexing it, converting it) forces
+  evaluation into a fresh container, which is what plain ``C = A @ B``
+  yields.
 
 This is the runtime analog of C++ expression templates the paper draws
 the comparison to.
@@ -19,10 +22,13 @@ the comparison to.
 
 from __future__ import annotations
 
+import numbers
+
 import numpy as np
 
 from ..backend.kernels import OpDesc
 from ..backend.ops_table import binary_result_dtype
+from ..exceptions import InvalidValue
 from . import operators
 from .context import current_backend_engine
 
@@ -44,16 +50,23 @@ __all__ = [
 ]
 
 
+def _is_scalar(value) -> bool:
+    return isinstance(value, (numbers.Number, np.number, np.bool_))
+
+
 def _unwrap(operand):
-    """``(dsl_container, transpose_flag)`` for a container or its ``.T``."""
+    """``(dsl_container, transpose_flag)`` for a container or its ``.T``;
+    expressions pass through untransposed (``.T`` on an expression is a
+    terminating operation, so they never carry a flag)."""
     if isinstance(operand, TransposeView):
         return operand.parent, True
     return operand, False
 
 
 def _as_container(operand):
-    """Materialise expression operands (a terminating operation: combining
-    an expression with another container forces its evaluation)."""
+    """Materialise expression operands.  Only the call sites that truly
+    need a container use this (the result is cached on the expression, so
+    an operand shared by two enclosing expressions evaluates once)."""
     if isinstance(operand, Expression):
         return operand.new()
     if isinstance(operand, TransposeView):
@@ -61,11 +74,43 @@ def _as_container(operand):
     return operand
 
 
+# -- deferred-operand helpers: expressions stay lazy in operand slots ----
+
+def _store_of(operand):
+    """Backend store of an operand, materialising expressions (once —
+    ``new`` caches) at evaluation time."""
+    if isinstance(operand, Expression):
+        return operand.new()._store
+    return operand._store
+
+
+def _shape_of(operand):
+    if isinstance(operand, Expression):
+        return operand.result_shape()
+    return operand.shape
+
+
+def _dtype_of(operand):
+    if isinstance(operand, Expression):
+        return operand.result_dtype()
+    return operand.dtype
+
+
+def _is_vec(operand) -> bool:
+    if isinstance(operand, Expression):
+        return not operand.produces_matrix
+    return bool(getattr(operand, "is_vector", False))
+
+
 class Expression:
     """Base class for all deferred operations."""
 
     #: subclasses set: does this expression produce a Matrix or a Vector?
     produces_matrix = True
+    #: plan-IR metadata: the node kind and the attribute names holding
+    #: operands that may themselves be deferred expressions
+    kind = "op"
+    operand_slots: tuple = ()
 
     def __init__(self):
         self._materialized = None
@@ -81,59 +126,105 @@ class Expression:
         """Evaluate directly into DSL container *out* (no temporaries)."""
         raise NotImplementedError
 
+    # -- plan-IR interface ------------------------------------------------
+    @property
+    def plan_kind(self) -> str:
+        """The node kind the planner's peephole rules match on."""
+        return self.kind
+
+    def plan_children(self):
+        """``(slot, child_expression)`` pairs for deferred operands."""
+        out = []
+        for slot in self.operand_slots:
+            child = getattr(self, slot)
+            if isinstance(child, Expression):
+                out.append((slot, child))
+        return out
+
     # -- materialisation --------------------------------------------------
     def new(self, dtype=None):
         """Force evaluation into a brand-new container (the behaviour of
-        plain ``C = A @ B``)."""
-        if self._materialized is not None and dtype is None:
+        plain ``C = A @ B``).
+
+        The natural-dtype result is computed once and cached on the
+        expression, so an expression used as an operand of two enclosing
+        expressions is not evaluated twice; an explicit *dtype* is a cast
+        of the cached result."""
+        if self._materialized is None:
+            from .matrix import Matrix
+            from .plan import evaluate
+            from .vector import Vector
+
+            if self.produces_matrix:
+                out = Matrix(shape=self.result_shape(), dtype=self.result_dtype())
+            else:
+                out = Vector(shape=self.result_shape(), dtype=self.result_dtype())
+            evaluate(self, out, OpDesc())
+            self._materialized = out
+        if dtype is None:
             return self._materialized
         from .matrix import Matrix
         from .vector import Vector
 
-        out_dtype = dtype if dtype is not None else self.result_dtype()
-        if self.produces_matrix:
-            out = Matrix(shape=self.result_shape(), dtype=out_dtype)
-        else:
-            out = Vector(shape=self.result_shape(), dtype=out_dtype)
-        self.eval_into(out, OpDesc())
-        if dtype is None:
-            self._materialized = out
-        return out
+        cls = Matrix if self.produces_matrix else Vector
+        return cls(self._materialized, dtype=dtype)
 
-    # -- terminating operations (treat the expression like a container) --
+    # -- composition: operands stay deferred ------------------------------
+    def __matmul__(self, other):
+        if self.produces_matrix:
+            if _is_vec(other):
+                return MXV(self, other)
+            return MXM(self, other)
+        if _is_vec(other):
+            raise InvalidValue("a Vector can only be matmul-ed with a Matrix")
+        return VXM(self, other)
+
+    def __rmatmul__(self, other):
+        if self.produces_matrix:
+            return MXM(other, self)
+        return MXV(other, self)
+
+    def __add__(self, other):
+        if _is_scalar(other):
+            return Apply(self, operators.UnaryOp(operators.resolve_ewise_add_op(), other))
+        return EWiseAdd(self, other)
+
+    def __radd__(self, other):
+        if _is_scalar(other):
+            return Apply(
+                self, operators.UnaryOp(operators.resolve_ewise_add_op(), other, bind="first")
+            )
+        return EWiseAdd(other, self)
+
+    def __mul__(self, other):
+        if _is_scalar(other):
+            return Apply(self, operators.UnaryOp(operators.resolve_ewise_mult_op(), other))
+        return EWiseMult(self, other)
+
+    def __rmul__(self, other):
+        if _is_scalar(other):
+            return Apply(
+                self, operators.UnaryOp(operators.resolve_ewise_mult_op(), other, bind="first")
+            )
+        return EWiseMult(other, self)
+
+    # -- shape/dtype are derivable without evaluation ----------------------
     @property
     def shape(self):
-        return self.new().shape
+        return self.result_shape()
 
+    @property
+    def dtype(self):
+        return np.dtype(self.result_dtype())
+
+    # -- terminating operations (treat the expression like a container) --
     @property
     def nvals(self):
         return self.new().nvals
 
     @property
-    def dtype(self):
-        return self.new().dtype
-
-    @property
     def T(self):
         return self.new().T
-
-    def __matmul__(self, other):
-        return self.new() @ other
-
-    def __rmatmul__(self, other):
-        return _as_container(other) @ self.new()
-
-    def __add__(self, other):
-        return self.new() + other
-
-    def __radd__(self, other):
-        return _as_container(other) + self.new()
-
-    def __mul__(self, other):
-        return self.new() * other
-
-    def __rmul__(self, other):
-        return _as_container(other) * self.new()
 
     def __invert__(self):
         return ~self.new()
@@ -172,22 +263,20 @@ class TransposeView:
         return self.parent.nvals
 
     def __matmul__(self, other):
-        other = _as_container(other)
-        if getattr(other, "is_vector", False):
+        if _is_vec(other):
             return MXV(self, other)
         return MXM(self, other)
 
     def __rmatmul__(self, other):
-        other = _as_container(other)
-        if getattr(other, "is_vector", False):
+        if _is_vec(other):
             return VXM(other, self)
         return MXM(other, self)
 
     def __add__(self, other):
-        return EWiseAdd(self, _as_container(other))
+        return EWiseAdd(self, other)
 
     def __mul__(self, other):
-        return EWiseMult(self, _as_container(other))
+        return EWiseMult(self, other)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self.parent!r}.T"
@@ -197,25 +286,27 @@ class MXM(Expression):
     """``A ⊕.⊗ B`` — semiring captured at construction time."""
 
     produces_matrix = True
+    kind = "mxm"
+    operand_slots = ("a", "b")
 
     def __init__(self, a, b, semiring=None):
         super().__init__()
-        self.a, self.ta = _unwrap(_as_container(a))
-        self.b, self.tb = _unwrap(_as_container(b))
+        self.a, self.ta = _unwrap(a)
+        self.b, self.tb = _unwrap(b)
         self.add_op, self.mult_op = operators.resolve_semiring(semiring)
 
     def result_shape(self):
-        ar, ac = self.a.shape if not self.ta else self.a.shape[::-1]
-        br, bc = self.b.shape if not self.tb else self.b.shape[::-1]
+        ar, ac = _shape_of(self.a) if not self.ta else _shape_of(self.a)[::-1]
+        br, bc = _shape_of(self.b) if not self.tb else _shape_of(self.b)[::-1]
         return (ar, bc)
 
     def result_dtype(self):
-        t = binary_result_dtype(self.mult_op, self.a.dtype, self.b.dtype)
+        t = binary_result_dtype(self.mult_op, _dtype_of(self.a), _dtype_of(self.b))
         return binary_result_dtype(self.add_op, t, t)
 
     def eval_into(self, out, desc):
         out._store = current_backend_engine().mxm(
-            out._store, self.a._store, self.b._store,
+            out._store, _store_of(self.a), _store_of(self.b),
             self.add_op, self.mult_op, desc, self.ta, self.tb,
         )
 
@@ -224,24 +315,26 @@ class MXV(Expression):
     """``A ⊕.⊗ u``."""
 
     produces_matrix = False
+    kind = "mxv"
+    operand_slots = ("a", "u")
 
     def __init__(self, a, u, semiring=None):
         super().__init__()
-        self.a, self.ta = _unwrap(_as_container(a))
-        self.u = _as_container(u)
+        self.a, self.ta = _unwrap(a)
+        self.u = u
         self.add_op, self.mult_op = operators.resolve_semiring(semiring)
 
     def result_shape(self):
-        ar = self.a.shape[1] if self.ta else self.a.shape[0]
-        return (ar,)
+        shape = _shape_of(self.a)
+        return (shape[1] if self.ta else shape[0],)
 
     def result_dtype(self):
-        t = binary_result_dtype(self.mult_op, self.a.dtype, self.u.dtype)
+        t = binary_result_dtype(self.mult_op, _dtype_of(self.a), _dtype_of(self.u))
         return binary_result_dtype(self.add_op, t, t)
 
     def eval_into(self, out, desc):
         out._store = current_backend_engine().mxv(
-            out._store, self.a._store, self.u._store,
+            out._store, _store_of(self.a), _store_of(self.u),
             self.add_op, self.mult_op, desc, self.ta,
         )
 
@@ -251,24 +344,26 @@ class VXM(Expression):
     ``page_rank @ m``)."""
 
     produces_matrix = False
+    kind = "vxm"
+    operand_slots = ("u", "a")
 
     def __init__(self, u, a, semiring=None):
         super().__init__()
-        self.u = _as_container(u)
-        self.a, self.ta = _unwrap(_as_container(a))
+        self.u = u
+        self.a, self.ta = _unwrap(a)
         self.add_op, self.mult_op = operators.resolve_semiring(semiring)
 
     def result_shape(self):
-        ac = self.a.shape[0] if self.ta else self.a.shape[1]
-        return (ac,)
+        shape = _shape_of(self.a)
+        return (shape[0] if self.ta else shape[1],)
 
     def result_dtype(self):
-        t = binary_result_dtype(self.mult_op, self.u.dtype, self.a.dtype)
+        t = binary_result_dtype(self.mult_op, _dtype_of(self.u), _dtype_of(self.a))
         return binary_result_dtype(self.add_op, t, t)
 
     def eval_into(self, out, desc):
         out._store = current_backend_engine().vxm(
-            out._store, self.u._store, self.a._store,
+            out._store, _store_of(self.u), _store_of(self.a),
             self.add_op, self.mult_op, desc, self.ta,
         )
 
@@ -277,34 +372,37 @@ class _EWise(Expression):
     resolve = None  # set by subclasses
     engine_mat = ""
     engine_vec = ""
+    operand_slots = ("a", "b")
 
     def __init__(self, a, b, op=None):
         super().__init__()
-        a = _as_container(a)
-        b = _as_container(b)
         self.a, self.ta = _unwrap(a)
         self.b, self.tb = _unwrap(b)
         self.op = type(self).resolve(op)
-        self.produces_matrix = not getattr(self.a, "is_vector", False)
+        self.produces_matrix = not _is_vec(self.a)
+
+    @property
+    def plan_kind(self):
+        return f"{self.kind}_{'mat' if self.produces_matrix else 'vec'}"
 
     def result_shape(self):
         if self.produces_matrix and self.ta:
-            return self.a.shape[::-1]
-        return self.a.shape
+            return _shape_of(self.a)[::-1]
+        return _shape_of(self.a)
 
     def result_dtype(self):
-        return binary_result_dtype(self.op, self.a.dtype, self.b.dtype)
+        return binary_result_dtype(self.op, _dtype_of(self.a), _dtype_of(self.b))
 
     def eval_into(self, out, desc):
         eng = current_backend_engine()
         if self.produces_matrix:
             out._store = getattr(eng, self.engine_mat)(
-                out._store, self.a._store, self.b._store, self.op, desc,
+                out._store, _store_of(self.a), _store_of(self.b), self.op, desc,
                 self.ta, self.tb,
             )
         else:
             out._store = getattr(eng, self.engine_vec)(
-                out._store, self.a._store, self.b._store, self.op, desc
+                out._store, _store_of(self.a), _store_of(self.b), self.op, desc
             )
 
 
@@ -314,6 +412,7 @@ class EWiseAdd(_EWise):
     resolve = staticmethod(operators.resolve_ewise_add_op)
     engine_mat = "ewise_add_mat"
     engine_vec = "ewise_add_vec"
+    kind = "ewise_add"
 
 
 class EWiseMult(_EWise):
@@ -322,60 +421,69 @@ class EWiseMult(_EWise):
     resolve = staticmethod(operators.resolve_ewise_mult_op)
     engine_mat = "ewise_mult_mat"
     engine_vec = "ewise_mult_vec"
+    kind = "ewise_mult"
 
 
 class Apply(Expression):
     """``fᵤ(A)`` — unary operator captured from context or given
     explicitly (``gb.apply``)."""
 
+    kind = "apply"
+    operand_slots = ("a",)
+
     def __init__(self, a, op=None):
         super().__init__()
-        a = _as_container(a)
         self.a, self.ta = _unwrap(a)
         self.op_spec = operators.resolve_unary_spec(op)
-        self.produces_matrix = not getattr(self.a, "is_vector", False)
+        self.produces_matrix = not _is_vec(self.a)
+
+    @property
+    def plan_kind(self):
+        return f"apply_{'mat' if self.produces_matrix else 'vec'}"
 
     def result_shape(self):
         if self.produces_matrix and self.ta:
-            return self.a.shape[::-1]
-        return self.a.shape
+            return _shape_of(self.a)[::-1]
+        return _shape_of(self.a)
 
     def result_dtype(self):
         if self.op_spec[0] == "bind":
             const = np.asarray(self.op_spec[2])
-            return binary_result_dtype(self.op_spec[1], self.a.dtype, const.dtype)
+            return binary_result_dtype(self.op_spec[1], _dtype_of(self.a), const.dtype)
         if self.op_spec[1] == "LogicalNot":
             return np.dtype(np.bool_)
-        return self.a.dtype
+        return _dtype_of(self.a)
 
     def eval_into(self, out, desc):
         eng = current_backend_engine()
         if self.produces_matrix:
-            out._store = eng.apply_mat(out._store, self.a._store, self.op_spec, desc, self.ta)
+            out._store = eng.apply_mat(out._store, _store_of(self.a), self.op_spec, desc, self.ta)
         else:
-            out._store = eng.apply_vec(out._store, self.a._store, self.op_spec, desc)
+            out._store = eng.apply_vec(out._store, _store_of(self.a), self.op_spec, desc)
 
 
 class ReduceRows(Expression):
     """``[⊕ⱼ A(:, j)]`` — row-wise monoid reduction to a vector."""
 
     produces_matrix = False
+    kind = "reduce_rows"
+    operand_slots = ("a",)
 
     def __init__(self, a, monoid=None):
         super().__init__()
-        a = _as_container(a)
         self.a, self.ta = _unwrap(a)
         self.op, self.identity = operators.resolve_reduce_monoid(monoid)
 
     def result_shape(self):
-        return (self.a.shape[1] if self.ta else self.a.shape[0],)
+        shape = _shape_of(self.a)
+        return (shape[1] if self.ta else shape[0],)
 
     def result_dtype(self):
-        return self.a.dtype
+        return _dtype_of(self.a)
 
     def eval_into(self, out, desc):
         out._store = current_backend_engine().reduce_rows(
-            out._store, self.a._store, self.op, desc, self.ta
+            out._store, _store_of(self.a), self.op, desc, self.ta
         )
 
 
@@ -383,6 +491,8 @@ class ExtractMat(Expression):
     """``A(i, j)`` as a sub-matrix."""
 
     produces_matrix = True
+    kind = "extract_mat"
+    operand_slots = ("a",)
 
     def __init__(self, a, rows, cols, ta=False):
         super().__init__()
@@ -395,11 +505,11 @@ class ExtractMat(Expression):
         return (self.rows.size, self.cols.size)
 
     def result_dtype(self):
-        return self.a.dtype
+        return _dtype_of(self.a)
 
     def eval_into(self, out, desc):
         out._store = current_backend_engine().extract_mat(
-            out._store, self.a._store, self.rows, self.cols, desc, self.ta
+            out._store, _store_of(self.a), self.rows, self.cols, desc, self.ta
         )
 
 
@@ -409,6 +519,7 @@ class ExtractVec(Expression):
     matrix before building this expression."""
 
     produces_matrix = False
+    kind = "extract_vec"
 
     def __init__(self, source_vec_store_fn, size, indices):
         super().__init__()
@@ -432,31 +543,37 @@ class Select(Expression):
     """``select(op, A, k)`` — keep stored entries satisfying a positional
     or value predicate (``GrB_select``)."""
 
+    kind = "select"
+    operand_slots = ("a",)
+
     def __init__(self, a, op, thunk=0):
         super().__init__()
-        a = _as_container(a)
         self.a, self.ta = _unwrap(a)
         self.op = op
         self.thunk = thunk
-        self.produces_matrix = not getattr(self.a, "is_vector", False)
+        self.produces_matrix = not _is_vec(self.a)
+
+    @property
+    def plan_kind(self):
+        return f"select_{'mat' if self.produces_matrix else 'vec'}"
 
     def result_shape(self):
         if self.produces_matrix and self.ta:
-            return self.a.shape[::-1]
-        return self.a.shape
+            return _shape_of(self.a)[::-1]
+        return _shape_of(self.a)
 
     def result_dtype(self):
-        return self.a.dtype
+        return _dtype_of(self.a)
 
     def eval_into(self, out, desc):
         eng = current_backend_engine()
         if self.produces_matrix:
             out._store = eng.select_mat(
-                out._store, self.a._store, self.op, self.thunk, desc, self.ta
+                out._store, _store_of(self.a), self.op, self.thunk, desc, self.ta
             )
         else:
             out._store = eng.select_vec(
-                out._store, self.a._store, self.op, self.thunk, desc
+                out._store, _store_of(self.a), self.op, self.thunk, desc
             )
 
 
@@ -464,24 +581,27 @@ class Kronecker(Expression):
     """``kron(A, B)`` over a binary ``⊗`` (``GrB_kronecker``)."""
 
     produces_matrix = True
+    kind = "kronecker"
+    operand_slots = ("a", "b")
 
     def __init__(self, a, b, op=None):
         super().__init__()
-        self.a, self.ta = _unwrap(_as_container(a))
-        self.b, self.tb = _unwrap(_as_container(b))
+        self.a, self.ta = _unwrap(a)
+        self.b, self.tb = _unwrap(b)
         self.op = operators.resolve_ewise_mult_op(op)
 
     def result_shape(self):
-        ar, ac = self.a.shape if not self.ta else self.a.shape[::-1]
-        br, bc = self.b.shape if not self.tb else self.b.shape[::-1]
+        ar, ac = _shape_of(self.a) if not self.ta else _shape_of(self.a)[::-1]
+        br, bc = _shape_of(self.b) if not self.tb else _shape_of(self.b)[::-1]
         return (ar * br, ac * bc)
 
     def result_dtype(self):
-        return binary_result_dtype(self.op, self.a.dtype, self.b.dtype)
+        return binary_result_dtype(self.op, _dtype_of(self.a), _dtype_of(self.b))
 
     def eval_into(self, out, desc):
         out._store = current_backend_engine().kronecker(
-            out._store, self.a._store, self.b._store, self.op, desc, self.ta, self.tb
+            out._store, _store_of(self.a), _store_of(self.b), self.op, desc,
+            self.ta, self.tb,
         )
 
 
@@ -489,16 +609,18 @@ class TransposeExpr(Expression):
     """``Aᵀ`` in assignment position: ``C[M] = A.T``."""
 
     produces_matrix = True
+    kind = "transpose"
+    operand_slots = ("a",)
 
     def __init__(self, a):
         super().__init__()
         self.a = a
 
     def result_shape(self):
-        return self.a.shape[::-1]
+        return _shape_of(self.a)[::-1]
 
     def result_dtype(self):
-        return self.a.dtype
+        return _dtype_of(self.a)
 
     def eval_into(self, out, desc):
-        out._store = current_backend_engine().transpose(out._store, self.a._store, desc)
+        out._store = current_backend_engine().transpose(out._store, _store_of(self.a), desc)

@@ -20,12 +20,15 @@ from . import operators
 from .context import current_backend_engine
 from .expressions import (
     Apply,
+    EWiseAdd,
+    EWiseMult,
     Expression,
     Kronecker,
     ReduceRows,
     Select,
     TransposeExpr,
     TransposeView,
+    _store_of,
 )
 
 __all__ = ["reduce", "apply", "transpose", "select", "kron"]
@@ -44,9 +47,33 @@ def reduce(*args):
         monoid, operand = args
     else:
         raise InvalidValue(f"reduce takes 1 or 2 arguments, got {len(args)}")
-    operand = _materialize(operand)
     if isinstance(operand, TransposeView):
         operand = operand.parent  # reduction to scalar ignores transposition
+    if isinstance(operand, Expression):
+        is_vector = not operand.produces_matrix
+        if monoid is not None and not is_vector:
+            return ReduceRows(operand, monoid)  # stays deferred → may fuse
+        op, identity = operators.resolve_reduce_monoid(monoid)
+        eng = current_backend_engine()
+        # fold an elementwise producer straight into the reduction when
+        # the planner is on and the engine has the fused kernel
+        if is_vector and operand._materialized is None:
+            from .plan import fusion_enabled
+
+            fused_name = {EWiseAdd: "ewise_add_vec_reduce_scalar",
+                          EWiseMult: "ewise_mult_vec_reduce_scalar"}.get(type(operand))
+            if (
+                fused_name is not None
+                and fusion_enabled()
+                and getattr(eng, "supports_fusion", False)
+                and hasattr(eng, fused_name)
+            ):
+                result = getattr(eng, fused_name)(
+                    _store_of(operand.a), _store_of(operand.b),
+                    operand.op, op, identity,
+                )
+                return result.item() if hasattr(result, "item") else result
+        operand = operand.new()
     is_vector = getattr(operand, "is_vector", None)
     if is_vector is None:
         raise InvalidValue("reduce expects a Matrix or Vector operand")
@@ -72,7 +99,7 @@ def apply(*args):
         raise InvalidValue(f"apply takes 1 or 2 arguments, got {len(args)}")
     if op is not None and not isinstance(op, operators.UnaryOp):
         raise InvalidValue("the explicit operator for apply must be a UnaryOp")
-    return Apply(_materialize(operand), op)
+    return Apply(operand, op)  # operand stays deferred (planner may fuse it)
 
 
 def transpose(a):
@@ -93,10 +120,10 @@ def select(op, operand, thunk=0):
         raise InvalidValue(
             f"unknown select operator {op!r}; valid names: {sorted(SELECT_OPS)}"
         )
-    return Select(_materialize(operand), op, thunk)
+    return Select(operand, op, thunk)
 
 
 def kron(a, b, op=None):
     """``C[M] = gb.kron(A, B)`` — deferred Kronecker product; ``⊗`` comes
     from *op* or the operator context (default ``Times``)."""
-    return Kronecker(_materialize(a), _materialize(b), op)
+    return Kronecker(a, b, op)

@@ -125,11 +125,9 @@ class Matrix(Container):
     # multiplication builds deferred expressions
     # ------------------------------------------------------------------
     def __matmul__(self, other):
-        from .vector import Vector
+        from .expressions import _is_vec
 
-        if isinstance(other, Expression):
-            other = other.new()
-        if isinstance(other, Vector):
+        if _is_vec(other):
             return MXV(self, other)
         return MXM(self, other)
 

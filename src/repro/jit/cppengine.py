@@ -209,6 +209,7 @@ class CppJitEngine:
     """Engine-interface implementation backed by JIT-compiled C++."""
 
     name = "cpp"
+    supports_fusion = True
 
     def __init__(self, cache: JitCache | None = None):
         self.cxx = find_cxx_compiler()
@@ -603,6 +604,237 @@ class CppJitEngine:
         p.index_list(idx)
         p.mask_vec(desc.mask)
         return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    # ------------------------------------------------------------------
+    # fused kernels (planner output; one FFI call for a producer+consumer
+    # pair, intermediate stays inside the shared object)
+    # ------------------------------------------------------------------
+    def mxv_apply(self, out, a, u, add, mult, op_spec, desc, ta=False):
+        if ta:
+            a = a.transposed()
+        tdt = binary_result_dtype(mult, a.dtype, u.dtype)
+        pdt = binary_result_dtype(add, tdt, tdt)
+        dconst, iconst, form, uop, side = self._apply_spec_parts(op_spec, out.dtype)
+        spec = self._spec(
+            "mxv_apply",
+            a=KernelSpec.dt(a.dtype),
+            u=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(tdt),
+            p=KernelSpec.dt(pdt),
+            add=add,
+            mult=mult,
+            form=form,
+            uop=uop,
+            side=side,
+            fused=True,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.csr(a)
+        p.vec(u)
+        p.vec(out)
+        p.mask_vec(desc.mask)
+        p.raw(dconst)
+        p.raw(iconst)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def vxm_apply(self, out, u, a, add, mult, op_spec, desc, ta=False):
+        if ta:
+            a = a.transposed()
+        tdt = binary_result_dtype(mult, u.dtype, a.dtype)
+        pdt = binary_result_dtype(add, tdt, tdt)
+        dconst, iconst, form, uop, side = self._apply_spec_parts(op_spec, out.dtype)
+        spec = self._spec(
+            "vxm_apply",
+            a=KernelSpec.dt(a.dtype),
+            u=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(tdt),
+            p=KernelSpec.dt(pdt),
+            add=add,
+            mult=mult,
+            form=form,
+            uop=uop,
+            side=side,
+            fused=True,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.csr(a)
+        p.vec(u)
+        p.vec(out)
+        p.mask_vec(desc.mask)
+        p.raw(dconst)
+        p.raw(iconst)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def _ewise_vec_apply(self, func, out, u, v, op, op_spec, desc):
+        pdt = binary_result_dtype(op, u.dtype, v.dtype)
+        dconst, iconst, form, uop, side = self._apply_spec_parts(op_spec, out.dtype)
+        spec = self._spec(
+            func,
+            a=KernelSpec.dt(u.dtype),
+            b=KernelSpec.dt(v.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(pdt),
+            p=KernelSpec.dt(pdt),
+            op=op,
+            form=form,
+            uop=uop,
+            side=side,
+            fused=True,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.vec(u)
+        p.vec(v, with_size=False)
+        p.vec(out)
+        p.mask_vec(desc.mask)
+        p.raw(dconst)
+        p.raw(iconst)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def ewise_add_vec_apply(self, out, u, v, op, op_spec, desc):
+        return self._ewise_vec_apply("ewise_add_vec_apply", out, u, v, op, op_spec, desc)
+
+    def ewise_mult_vec_apply(self, out, u, v, op, op_spec, desc):
+        return self._ewise_vec_apply("ewise_mult_vec_apply", out, u, v, op, op_spec, desc)
+
+    def _ewise_mat_apply(self, func, out, a, b, op, op_spec, desc, ta, tb):
+        if ta:
+            a = a.transposed()
+        if tb:
+            b = b.transposed()
+        pdt = binary_result_dtype(op, a.dtype, b.dtype)
+        dconst, iconst, form, uop, side = self._apply_spec_parts(op_spec, out.dtype)
+        spec = self._spec(
+            func,
+            a=KernelSpec.dt(a.dtype),
+            b=KernelSpec.dt(b.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(pdt),
+            p=KernelSpec.dt(pdt),
+            op=op,
+            form=form,
+            uop=uop,
+            side=side,
+            fused=True,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.csr(a)
+        p.csr(b, with_dims=False)
+        p.csr(out, with_dims=False)
+        p.mask_mat(desc.mask)
+        p.raw(dconst)
+        p.raw(iconst)
+        return self._run_mat_out(lib, p, out.nrows, out.ncols, out.dtype)
+
+    def ewise_add_mat_apply(self, out, a, b, op, op_spec, desc, ta=False, tb=False):
+        return self._ewise_mat_apply(
+            "ewise_add_mat_apply", out, a, b, op, op_spec, desc, ta, tb
+        )
+
+    def ewise_mult_mat_apply(self, out, a, b, op, op_spec, desc, ta=False, tb=False):
+        return self._ewise_mat_apply(
+            "ewise_mult_mat_apply", out, a, b, op, op_spec, desc, ta, tb
+        )
+
+    def mxm_reduce_rows(self, out, a, b, add, mult, rop, desc, ta=False, tb=False):
+        if ta:
+            a = a.transposed()
+        if tb:
+            b = b.transposed()
+        tdt = binary_result_dtype(mult, a.dtype, b.dtype)
+        pdt = binary_result_dtype(add, tdt, tdt)
+        spec = self._spec(
+            "mxm_reduce_rows",
+            a=KernelSpec.dt(a.dtype),
+            b=KernelSpec.dt(b.dtype),
+            c=KernelSpec.dt(out.dtype),
+            t_dtype=KernelSpec.dt(tdt),
+            p=KernelSpec.dt(pdt),
+            add=add,
+            mult=mult,
+            rop=rop,
+            fused=True,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.csr(a)
+        p.csr(b)
+        p.vec(out)
+        p.mask_vec(desc.mask)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def apply_assign_vec(self, out, u, op_spec, idx, desc):
+        from ..backend.kernels import apply_result_dtype
+
+        pdt = apply_result_dtype(op_spec, u.dtype)
+        dconst, iconst, form, uop, side = self._apply_spec_parts(op_spec, pdt)
+        spec = self._spec(
+            "apply_assign_vec",
+            a=KernelSpec.dt(u.dtype),
+            c=KernelSpec.dt(out.dtype),
+            p=KernelSpec.dt(pdt),
+            form=form,
+            uop=uop,
+            side=side,
+            fused=True,
+            **_desc_params(desc),
+        )
+        lib = self._lib(spec)
+        p = _Args()
+        p.vec(out)
+        p.vec(u)
+        p.index_list(idx)
+        p.mask_vec(desc.mask)
+        p.raw(dconst)
+        p.raw(iconst)
+        return self._run_vec_out(lib, p, out.size, out.dtype)
+
+    def _ewise_reduce_scalar(self, func, u, v, op, rop, identity):
+        pdt = np.dtype(binary_result_dtype(op, u.dtype, v.dtype))
+        if identity is None:
+            identity = DEFAULT_IDENTITY_NAME[rop]
+        ident = identity_value(identity, pdt)
+        spec = self._spec(
+            func,
+            a=KernelSpec.dt(u.dtype),
+            b=KernelSpec.dt(v.dtype),
+            p=KernelSpec.dt(pdt),
+            op=op,
+            rop=rop,
+            fused=True,
+        )
+        lib = self._lib(spec, scalar_out=True)
+        out = np.zeros(1, dtype=np.uint8 if pdt == np.bool_ else pdt)
+        p = _Args()
+        p.vec(u)
+        p.vec(v, with_size=False)
+        d, i = _scalar_pair(ident, prefer_float=pdt.kind == "f")
+        p.raw(d)
+        p.raw(i)
+        p.ptr(out.view(np.uint8) if pdt == np.bool_ else out)
+        lib.pygb_run(*p.args)
+        val = out.view(np.bool_)[0] if pdt == np.bool_ else out[0]
+        return pdt.type(val)
+
+    def ewise_add_vec_reduce_scalar(self, u, v, op, rop, identity=None):
+        return self._ewise_reduce_scalar(
+            "ewise_add_vec_reduce_scalar", u, v, op, rop, identity
+        )
+
+    def ewise_mult_vec_reduce_scalar(self, u, v, op, rop, identity=None):
+        return self._ewise_reduce_scalar(
+            "ewise_mult_vec_reduce_scalar", u, v, op, rop, identity
+        )
 
     # -- Python-JIT fallbacks (index-heavy matrix forms) -----------------
     def transpose(self, out, a, desc):

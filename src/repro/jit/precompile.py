@@ -47,6 +47,9 @@ _ALGORITHM_KERNELS: tuple[tuple[str, dict], ...] = (
     ("ewise_mult_vec", dict(a="float64", accum="none", b="float64",
                             c="float64", comp=0, mask="none", op="Times",
                             repl=0, t_dtype="float64")),
+    ("ewise_mult_vec_reduce_scalar", dict(a="float64", b="float64", fused=1,
+                                          op="Times", p="float64",
+                                          rop="Plus")),
     ("mxm", dict(a="int64", accum="none", add="Plus", b="int64", c="int64",
                  comp=0, mask="value", mult="Times", repl=0,
                  t_dtype="int64")),

@@ -74,7 +74,8 @@ class TestPyCodegen:
     def _spec(self, func, **extra):
         base = dict(
             a="float64", b="float64", u="float64", c="float64",
-            t_dtype="float64", add="Plus", mult="Times", op="Plus",
+            t_dtype="float64", p="float64", add="Plus", mult="Times",
+            op="Plus", uop="Identity", rop="Plus",
             mask="none", comp=False, repl=False, accum="none",
             ta=False, tb=False, form="unary", side="none",
         )
