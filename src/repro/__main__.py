@@ -10,6 +10,7 @@
     python -m repro components graph.mtx       # assumes symmetric input
     python -m repro engines                    # available execution engines
     python -m repro precompile                 # pre-build the C++ kernel cache
+    python -m repro doctor                     # JIT runtime health report
 
 Every command accepts ``--engine {interpreted,pyjit,cpp}``.
 """
@@ -151,7 +152,80 @@ def cmd_precompile(args) -> int:
     )
     for key, err in report["failed"]:
         print(f"FAILED {key}: {err}", file=sys.stderr)
-    return 1 if report["failed"] else 0
+    if report["failed"]:
+        print(
+            f"error: {len(report['failed'])}/{report['requested']} kernel(s) "
+            "failed to precompile (see above)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_doctor(args) -> int:
+    from .jit.cache import CACHE_FORMAT_VERSION, default_cache
+    from .jit.cppengine import (
+        compile_timeout,
+        find_cxx_compiler,
+        openmp_available,
+        toolchain_works,
+    )
+    from .jit.health import jit_retries, jit_strict
+    from .testing.faults import FAULTS
+
+    cache = default_cache()
+    cxx = find_cxx_compiler()
+    print("PyGB engine health")
+    if cxx is None:
+        print("compiler:        none — cpp engine unavailable, pyjit serves instead")
+    elif not toolchain_works(cxx):
+        print(
+            f"compiler:        {cxx} — BROKEN (probe compile failed); "
+            "cpp kernels will quarantine and fall back"
+        )
+    else:
+        print(f"compiler:        {cxx} (OpenMP: {'yes' if openmp_available(cxx) else 'no'})")
+    location = f"{cache.cache_dir}"
+    if cache.relocated:
+        location += "  (RELOCATED: configured cache dir was unwritable)"
+    print(f"cache dir:       {location}")
+    print(f"cache format:    v{CACHE_FORMAT_VERSION}")
+    timeout = compile_timeout()
+    print(
+        f"strict mode:     {'on' if jit_strict() else 'off'}   "
+        f"retries: {jit_retries()}   "
+        f"compile timeout: {f'{timeout:g}s' if timeout else 'disabled'}"
+    )
+    snap = cache.stats.snapshot()
+    print(
+        f"cache activity:  {snap['memory_hits']} memory hits, "
+        f"{snap['disk_hits']} disk hits, {snap['compiles']} compiles"
+    )
+    print(
+        f"resilience:      {snap['jit_failures']} JIT failures, "
+        f"{snap['fallbacks']} fallback dispatches, "
+        f"{snap['integrity_rebuilds']} integrity rebuilds, "
+        f"{snap['tmp_swept']} orphaned tmp files swept"
+    )
+    health = cache.health.snapshot()
+    if health["specs"]:
+        print(f"unhealthy specs ({len(health['specs'])}):")
+        for row in health["specs"]:
+            print(
+                f"  [{row['engine']}] {row['key']}\n"
+                f"      {row['failures']} failure(s), {row['state']}"
+                + (f" — {row['last_error']}" if row["last_error"] else "")
+            )
+    else:
+        print("unhealthy specs: none")
+    faults = FAULTS.active()
+    if faults:
+        rendered = ", ".join(
+            f"{kind} (rate {rule['rate']:g}, fired {rule['fired']}x)"
+            for kind, rule in sorted(faults.items())
+        )
+        print(f"fault injection: {rendered}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -212,6 +286,12 @@ def main(argv=None) -> int:
         help="warm serial kernels even when OpenMP is available",
     )
     p.set_defaults(fn=cmd_precompile)
+
+    p = sub.add_parser(
+        "doctor",
+        help="engine-health report: toolchain, cache integrity, quarantined specs",
+    )
+    p.set_defaults(fn=cmd_doctor)
 
     args = parser.parse_args(argv)
     if args.engine:

@@ -107,17 +107,46 @@ def _default_engine_name() -> str:
     return os.environ.get("PYGB_BACKEND", "pyjit")
 
 
+#: where an *environment-selected* engine degrades to when it cannot even
+#: be constructed (e.g. ``PYGB_BACKEND=cpp`` on a machine with no
+#: compiler).  An engine requested explicitly through :func:`use_engine`
+#: never degrades — that is a configuration error and raises eagerly.
+_ENGINE_DEGRADATION = {"cpp": "pyjit"}
+
+
 def current_backend_engine():
     """The engine executing GraphBLAS operations for this thread.
 
     Resolved lazily from ``$PYGB_BACKEND`` (``interpreted``, ``pyjit`` —
     the default — or ``cpp``); override per-scope with :func:`use_engine`.
+    When the env-selected engine is unavailable on this machine (no C++
+    toolchain) the thread degrades to the next engine down with a warning
+    instead of failing the first operation — unless ``PYGB_JIT_STRICT``
+    is set.
     """
     engine = getattr(_engine_state, "engine", None)
     if engine is None:
+        from ..exceptions import BackendUnavailable, JitFallbackWarning
+        from ..jit.health import jit_strict
         from .dispatch import make_engine
 
-        engine = make_engine(_default_engine_name())
+        name = _default_engine_name()
+        try:
+            engine = make_engine(name)
+        except BackendUnavailable as exc:
+            fallback = _ENGINE_DEGRADATION.get(name)
+            if fallback is None or jit_strict():
+                raise
+            import warnings
+
+            warnings.warn(
+                f"pygb: $PYGB_BACKEND={name} is unavailable ({exc}); "
+                f"using the {fallback} engine instead "
+                "(set PYGB_JIT_STRICT=1 to raise)",
+                JitFallbackWarning,
+                stacklevel=2,
+            )
+            engine = make_engine(fallback)
         _engine_state.engine = engine
     return engine
 

@@ -23,9 +23,9 @@ interface:
 from __future__ import annotations
 
 from ..backend import kernels as K
-from ..exceptions import BackendUnavailable
+from ..exceptions import BackendUnavailable, CompilationError
 
-__all__ = ["InterpretedEngine", "CountingEngine", "make_engine"]
+__all__ = ["InterpretedEngine", "CountingEngine", "ResilientEngine", "make_engine"]
 
 
 class InterpretedEngine:
@@ -168,18 +168,100 @@ class CountingEngine:
         return counted
 
 
+#: the full engine interface (InterpretedEngine implements every method,
+#: including the fused reference kernels) — only these are wrapped with
+#: fallback logic; any other attribute forwards to the primary engine
+_DISPATCH_METHODS = frozenset(
+    name
+    for name, value in vars(InterpretedEngine).items()
+    if callable(value) and not name.startswith("_")
+)
+
+
+class ResilientEngine:
+    """Fallback chain around the JIT engines: no compile/load failure may
+    break a program the interpreter could run.
+
+    Wraps an ordered engine chain (``cpp → pyjit → interpreted`` or
+    ``pyjit → interpreted``).  A dispatch method that raises
+    :class:`CompilationError` (including the quarantine fast-fail) or
+    :class:`BackendUnavailable` on one engine is retried verbatim on the
+    next; the per-spec circuit breaker lives below, in the engines'
+    module-retrieval step, so retries after the first failure skip the
+    doomed compile entirely.  ``$PYGB_JIT_STRICT=1`` bypasses this
+    wrapper (``make_engine`` returns the bare engine).
+    """
+
+    def __init__(self, chain):
+        self._chain = list(chain)
+        self.primary = self._chain[0]
+        self.name = self.primary.name
+
+    @property
+    def supports_fusion(self) -> bool:
+        return getattr(self.primary, "supports_fusion", False)
+
+    def __getattr__(self, attr):
+        value = getattr(self.primary, attr)  # AttributeError propagates
+        if attr not in _DISPATCH_METHODS or not callable(value):
+            return value
+        chain = self._chain
+
+        def dispatch(*args, **kwargs):
+            last_exc = None
+            for position, engine in enumerate(chain):
+                method = getattr(engine, attr, None)
+                if method is None:
+                    continue
+                if last_exc is not None:
+                    cache = getattr(engine, "cache", None) or getattr(
+                        chain[0], "cache", None
+                    )
+                    if cache is not None:
+                        cache.note_fallback()
+                try:
+                    return method(*args, **kwargs)
+                except (CompilationError, BackendUnavailable) as exc:
+                    last_exc = exc
+            raise last_exc
+
+        dispatch.__name__ = attr
+        return dispatch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResilientEngine({' -> '.join(e.name for e in self._chain)})"
+
+
 def make_engine(name: str):
-    """Instantiate an engine by name (``interpreted``, ``pyjit``, ``cpp``)."""
+    """Instantiate an engine by name (``interpreted``, ``pyjit``, ``cpp``).
+
+    The JIT engines come wrapped in the :class:`ResilientEngine` fallback
+    chain unless ``$PYGB_JIT_STRICT`` is set; ``cpp`` still raises
+    :class:`BackendUnavailable` **eagerly** when no compiler exists —
+    an explicitly requested engine that can never work is a configuration
+    error, not a degradation case.
+    """
+    from ..jit.health import jit_strict
+
     if name == "interpreted":
         return InterpretedEngine()
     if name == "pyjit":
         from ..jit.pyengine import PyJitEngine
 
-        return PyJitEngine()
+        engine = PyJitEngine()
+        if jit_strict():
+            return engine
+        return ResilientEngine([engine, InterpretedEngine()])
     if name == "cpp":
         from ..jit.cppengine import CppJitEngine
+        from ..jit.pyengine import PyJitEngine
 
-        return CppJitEngine()
+        engine = CppJitEngine()
+        if jit_strict():
+            return engine
+        return ResilientEngine(
+            [engine, PyJitEngine(engine.cache), InterpretedEngine()]
+        )
     raise BackendUnavailable(
         f"unknown engine {name!r}; valid: interpreted, pyjit, cpp"
     )

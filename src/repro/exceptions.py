@@ -45,6 +45,22 @@ class CompilationError(GraphBLASError):
     """The JIT backend failed to compile a generated module (Sec. V)."""
 
 
+class KernelQuarantined(CompilationError):
+    """A kernel spec is circuit-broken: its compile/load failed recently
+    and the backoff window has not expired, so the engine refuses to
+    re-attempt the build.  Dispatch treats this exactly like a fresh
+    :class:`CompilationError` (fall back to the next engine), but without
+    paying for the doomed compile again."""
+
+
 class BackendUnavailable(GraphBLASError):
     """The requested execution backend (e.g. ``cpp``) cannot be used on
     this machine (no compiler found)."""
+
+
+class JitFallbackWarning(UserWarning):
+    """The JIT runtime degraded gracefully: a compile/load failure sent a
+    kernel to the next engine in the fallback chain, or the cache
+    relocated to a temporary directory.  The program keeps running on a
+    slower-but-correct path; set ``PYGB_JIT_STRICT=1`` to turn these
+    situations back into hard errors."""

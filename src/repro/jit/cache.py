@@ -12,20 +12,39 @@ dedupe into one compile, while different specs generate and compile
 concurrently — which is what :meth:`JitCache.precompile` exploits to fan
 ``g++`` jobs out over a thread pool (compilation is subprocess-bound, so
 Python threads are enough).
+
+The disk cache is also the JIT runtime's only persistent state, so it
+defends itself (the resilience layer's "cache integrity" half):
+
+* every artifact gets a sidecar **manifest** recording SHA-256 checksums
+  of the generated source and the built artifact; a disk hit whose
+  checksum no longer matches (truncated ``.so`` from a killed compile,
+  disk corruption) is discarded and rebuilt instead of being loaded;
+* a ``CACHE_FORMAT`` **version stamp** in the cache directory invalidates
+  layouts written by incompatible library versions wholesale;
+* orphaned ``*.tmp`` files (writers that died between ``write`` and
+  ``os.replace``) are swept at construction;
+* an unwritable cache directory relocates to a fresh temporary directory
+  with a warning rather than failing every compile.
 """
 
 from __future__ import annotations
 
+import hashlib
 import importlib.util
+import json
 import os
 import sys
+import tempfile
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..exceptions import CompilationError
+from ..exceptions import CompilationError, JitFallbackWarning
+from .health import EngineHealth
 from .spec import KernelSpec
 
 __all__ = [
@@ -34,8 +53,20 @@ __all__ = [
     "default_cache",
     "cache_statistics",
     "clear_memory_cache",
+    "reset_default_cache",
     "default_compile_jobs",
+    "CACHE_FORMAT_VERSION",
 ]
+
+#: bumped whenever the on-disk cache layout changes (artifact naming,
+#: manifest schema); a stamp mismatch sweeps the directory on startup.
+CACHE_FORMAT_VERSION = 1
+
+_FORMAT_STAMP = "CACHE_FORMAT"
+#: orphaned .tmp files whose writer pid cannot be determined are only
+#: swept once they are this old (an active writer replaces its .tmp
+#: within seconds)
+_TMP_GRACE_SECONDS = 3600.0
 
 
 def default_compile_jobs() -> int:
@@ -53,7 +84,8 @@ def default_compile_jobs() -> int:
 
 @dataclass
 class CacheStatistics:
-    """Counters for the three lookup outcomes plus time spent compiling."""
+    """Counters for the three lookup outcomes, time spent compiling, and
+    the resilience layer's recovery events."""
 
     memory_hits: int = 0
     disk_hits: int = 0
@@ -62,6 +94,14 @@ class CacheStatistics:
     compile_seconds: float = 0.0
     import_seconds: float = 0.0
     per_func: dict = field(default_factory=dict)
+    #: compile/load failures recorded against any engine
+    jit_failures: int = 0
+    #: dispatches served by a lower engine after a JIT failure
+    fallbacks: int = 0
+    #: corrupt/truncated artifacts detected and rebuilt
+    integrity_rebuilds: int = 0
+    #: orphaned .tmp files removed at cache construction
+    tmp_swept: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -72,12 +112,30 @@ class CacheStatistics:
             "compile_seconds": self.compile_seconds,
             "import_seconds": self.import_seconds,
             "per_func": dict(self.per_func),
+            "jit_failures": self.jit_failures,
+            "fallbacks": self.fallbacks,
+            "integrity_rebuilds": self.integrity_rebuilds,
+            "tmp_swept": self.tmp_swept,
         }
 
     def reset(self) -> None:
         self.memory_hits = self.disk_hits = self.compiles = 0
         self.generate_seconds = self.compile_seconds = self.import_seconds = 0.0
         self.per_func.clear()
+        self.jit_failures = self.fallbacks = 0
+        self.integrity_rebuilds = self.tmp_swept = 0
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+        return True
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours
 
 
 def _default_cache_dir() -> Path:
@@ -98,13 +156,150 @@ class JitCache:
     """
 
     def __init__(self, cache_dir: str | os.PathLike | None = None):
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else _default_cache_dir()
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStatistics()
+        self.health = EngineHealth()
+        self.relocated = False
+        requested = Path(cache_dir) if cache_dir is not None else _default_cache_dir()
+        self.cache_dir = self._prepare_dir(requested)
         self._modules: dict[tuple[str, str], object] = {}
         # guards _modules, _key_locks and stats; never held across a compile
         self._lock = threading.Lock()
         self._key_locks: dict[tuple[str, str], threading.Lock] = {}
+        self._check_format_stamp()
+        self.stats.tmp_swept = self._sweep_orphaned_tmp()
+
+    # ------------------------------------------------------------------
+    # directory preparation (relocation, format stamp, tmp sweep)
+    # ------------------------------------------------------------------
+    def _prepare_dir(self, requested: Path) -> Path:
+        """*requested* if it can be created and written, else a fresh
+        temporary directory (read-only mounts, wrong-owner dirs)."""
+        try:
+            requested.mkdir(parents=True, exist_ok=True)
+            probe = requested / f".pygb_probe.{os.getpid()}.{threading.get_ident()}"
+            probe.write_text("")
+            probe.unlink()
+            return requested
+        except OSError as exc:
+            fallback = Path(tempfile.mkdtemp(prefix="pygb-cache-"))
+            warnings.warn(
+                f"pygb: cache directory {requested} is not writable ({exc}); "
+                f"using temporary cache {fallback} for this process "
+                "(compiled kernels will not be amortised across runs)",
+                JitFallbackWarning,
+                stacklevel=4,
+            )
+            self.relocated = True
+            return fallback
+
+    def _check_format_stamp(self) -> None:
+        """Sweep artifacts written under a different cache-format version
+        (or before versioning existed), then stamp the directory."""
+        stamp = self.cache_dir / _FORMAT_STAMP
+        current = None
+        try:
+            current = int(stamp.read_text().strip())
+        except (OSError, ValueError):
+            pass
+        if current == CACHE_FORMAT_VERSION:
+            return
+        for p in self.cache_dir.glob("pygb_*"):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+        self._atomic_write(stamp, f"{CACHE_FORMAT_VERSION}\n")
+
+    def _sweep_orphaned_tmp(self) -> int:
+        """Delete ``*.tmp`` leftovers from writers that died mid-compile.
+        Temp names embed the writer's pid (``<name>.<pid>.<tid>.tmp``);
+        a dead pid means the file can never be renamed into place.  Files
+        with unparseable names are only removed once older than an hour."""
+        swept = 0
+        now = time.time()
+        for p in self.cache_dir.glob("*.tmp"):
+            parts = p.name.split(".")
+            stale = False
+            try:
+                pid = int(parts[-3])
+                stale = pid != os.getpid() and not _pid_alive(pid)
+            except (IndexError, ValueError):
+                try:
+                    stale = now - p.stat().st_mtime > _TMP_GRACE_SECONDS
+                except OSError:
+                    continue
+            if stale:
+                try:
+                    p.unlink()
+                    swept += 1
+                except OSError:
+                    pass
+        return swept
+
+    # ------------------------------------------------------------------
+    # artifact integrity (sidecar manifests)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _manifest_path(artifact: Path) -> Path:
+        return artifact.with_name(artifact.name + ".manifest.json")
+
+    @staticmethod
+    def _sha256_file(path: Path) -> str:
+        h = hashlib.sha256()
+        with open(path, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 16), b""):
+                h.update(chunk)
+        return h.hexdigest()
+
+    def _write_manifest(self, spec: KernelSpec, src_path: Path, artifact: Path) -> None:
+        data = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": spec.key,
+            "source": src_path.name,
+            "source_sha256": self._sha256_file(src_path),
+            "artifact": artifact.name,
+            "artifact_sha256": self._sha256_file(artifact),
+            "artifact_size": artifact.stat().st_size,
+        }
+        self._atomic_write(
+            self._manifest_path(artifact), json.dumps(data, indent=1, sort_keys=True)
+        )
+
+    def _artifact_intact(self, artifact: Path) -> bool:
+        """Whether the on-disk artifact matches its manifest (size fast
+        path, then full checksum).  Missing/garbled manifests count as
+        corrupt — pre-manifest caches are invalidated by the format stamp
+        anyway."""
+        try:
+            data = json.loads(self._manifest_path(artifact).read_text())
+            if data.get("format") != CACHE_FORMAT_VERSION:
+                return False
+            if artifact.stat().st_size != data.get("artifact_size"):
+                return False
+            return self._sha256_file(artifact) == data.get("artifact_sha256")
+        except (OSError, ValueError):
+            return False
+
+    def _discard_artifact(self, artifact: Path) -> None:
+        artifact.unlink(missing_ok=True)
+        self._manifest_path(artifact).unlink(missing_ok=True)
+
+    def note_jit_failure(self) -> None:
+        with self._lock:
+            self.stats.jit_failures += 1
+
+    def note_fallback(self) -> None:
+        with self._lock:
+            self.stats.fallbacks += 1
+
+    def invalidate(self, spec: KernelSpec, kind: str) -> None:
+        """Forget *spec*'s artifact of *kind* everywhere (memory entry,
+        disk file, manifest) so the next lookup rebuilds it — the engines
+        call this when a checksum-clean artifact still fails to load."""
+        with self._lock:
+            self._modules.pop((spec.key_hash, kind), None)
+            self.stats.integrity_rebuilds += 1
+        self._discard_artifact(self.cache_dir / f"{spec.module_stem}{kind}")
 
     # ------------------------------------------------------------------
     def get_module(self, spec: KernelSpec, generate, suffix: str = ".py", compiler=None):
@@ -139,10 +334,8 @@ class JitCache:
                     self.stats.memory_hits += 1
                     return mod
             artifact = self.cache_dir / f"{spec.module_stem}{kind}"
-            if artifact.exists():
-                with self._lock:
-                    self.stats.disk_hits += 1
-            else:
+
+            def build() -> None:
                 t0 = time.perf_counter()
                 source = generate(spec)
                 generate_s = time.perf_counter() - t0
@@ -150,19 +343,51 @@ class JitCache:
                 self._atomic_write(src_path, source)
                 compile_s = 0.0
                 if compiler is not None:
-                    t0 = time.perf_counter()
-                    compiler(src_path, artifact)
-                    compile_s = time.perf_counter() - t0
+                    t0c = time.perf_counter()
+                    try:
+                        compiler(src_path, artifact)
+                    except Exception:
+                        # leave nothing half-usable behind for later lookups
+                        self._discard_artifact(artifact)
+                        raise
+                    compile_s = time.perf_counter() - t0c
+                self._write_manifest(spec, src_path, artifact)
                 with self._lock:
                     self.stats.generate_seconds += generate_s
                     self.stats.compile_seconds += compile_s
                     self.stats.compiles += 1
                     self.stats.per_func[spec.func] = self.stats.per_func.get(spec.func, 0) + 1
+
+            built_now = False
+            if artifact.exists() and self._artifact_intact(artifact):
+                with self._lock:
+                    self.stats.disk_hits += 1
+            else:
+                if artifact.exists():
+                    # truncated/corrupt leftover (killed compile, disk
+                    # fault, stale manifest): rebuild instead of loading
+                    self._discard_artifact(artifact)
+                    with self._lock:
+                        self.stats.integrity_rebuilds += 1
+                build()
+                built_now = True
             t0 = time.perf_counter()
             if compiler is not None:
                 mod = artifact  # engines wrap the .so path in ctypes themselves
             else:
-                mod = self._import_py(artifact, spec)
+                try:
+                    mod = self._import_py(artifact, spec)
+                except CompilationError:
+                    if built_now:
+                        raise  # freshly generated and still broken: codegen bug
+                    # checksum-clean disk artifact that won't import
+                    # (e.g. manifest and file corrupted together):
+                    # invalidate and rebuild exactly once
+                    self._discard_artifact(artifact)
+                    with self._lock:
+                        self.stats.integrity_rebuilds += 1
+                    build()
+                    mod = self._import_py(artifact, spec)
             import_s = time.perf_counter() - t0
             with self._lock:
                 self.stats.import_seconds += import_s
@@ -257,9 +482,24 @@ def default_cache() -> JitCache:
         return _default
 
 
+def reset_default_cache() -> JitCache:
+    """Drop and rebuild the process-wide cache singleton (re-reading
+    ``$PYGB_CACHE_DIR``).  Engines constructed earlier keep their old
+    cache reference; used by tests and by operators who repoint the cache
+    directory mid-process."""
+    global _default
+    with _default_lock:
+        _default = JitCache()
+        return _default
+
+
 def cache_statistics() -> dict:
-    """Snapshot of the default cache's counters."""
-    return default_cache().stats.snapshot()
+    """Snapshot of the default cache's counters, including the engine
+    health report (failure counters and quarantine state)."""
+    cache = default_cache()
+    snap = cache.stats.snapshot()
+    snap["health"] = cache.health.snapshot()
+    return snap
 
 
 def clear_memory_cache() -> None:

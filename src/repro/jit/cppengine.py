@@ -22,6 +22,7 @@ import ctypes
 import os
 import shutil
 import subprocess
+import sys
 import tempfile
 import threading
 from ctypes import POINTER, byref, c_double, c_int64, c_void_p
@@ -37,6 +38,7 @@ from ..backend.ops_table import (
 from ..backend.smatrix import SparseMatrix
 from ..backend.svector import SparseVector
 from ..exceptions import BackendUnavailable, CompilationError
+from ..testing.faults import FAULTS
 from .cache import JitCache, default_cache
 from .cppcodegen import PARALLEL_FUNCS, generate_cpp_source
 from .gbtl_lite import GBTL_LITE_HEADER, HEADER_FILENAME
@@ -47,9 +49,28 @@ __all__ = [
     "CppJitEngine",
     "find_cxx_compiler",
     "compiler_available",
+    "toolchain_works",
     "openmp_available",
     "parallel_requested",
+    "compile_timeout",
 ]
+
+DEFAULT_COMPILE_TIMEOUT = 120.0
+
+
+def compile_timeout() -> float | None:
+    """Wall-clock limit for one compiler invocation, in seconds
+    (``$PYGB_COMPILE_TIMEOUT``, default 120; 0 or negative disables).
+    A wedged compiler otherwise hangs the calling thread — and the
+    precompile pool — forever."""
+    env = os.environ.get("PYGB_COMPILE_TIMEOUT")
+    if env:
+        try:
+            value = float(env)
+            return value if value > 0 else None
+        except ValueError:
+            pass
+    return DEFAULT_COMPILE_TIMEOUT
 
 _I64 = np.dtype(np.int64)
 
@@ -113,6 +134,48 @@ def openmp_available(cxx: str | None = None) -> bool:
     result = _probe_openmp(cxx)
     with _PROBE_LOCK:
         _OPENMP_PROBES[cxx] = result
+    return result
+
+
+_TOOLCHAIN_PROBES: dict[str, bool] = {}
+
+
+def _probe_toolchain(cxx: str) -> bool:
+    source = 'extern "C" int pygb_probe() { return 42; }\n'
+    try:
+        with tempfile.TemporaryDirectory(prefix="pygb_cxx_probe_") as td:
+            src = Path(td) / "probe.cpp"
+            src.write_text(source)
+            out = Path(td) / "probe.so"
+            proc = subprocess.run(
+                [cxx, "-std=c++17", "-shared", "-fPIC", str(src), "-o", str(out)],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            return proc.returncode == 0 and out.exists()
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+
+
+def toolchain_works(cxx: str | None = None) -> bool:
+    """Whether the discovered compiler can actually build a shared object.
+
+    :func:`compiler_available` only checks PATH resolution; a compiler
+    that resolves but fails every invocation (a broken install, or the
+    fault-tolerance CI leg's ``PYGB_CXX=/bin/false``) passes that check
+    and fails this one.  Probed once per compiler path with a tiny test
+    compile and memoised for the life of the process."""
+    cxx = cxx or find_cxx_compiler()
+    if cxx is None:
+        return False
+    with _PROBE_LOCK:
+        cached = _TOOLCHAIN_PROBES.get(cxx)
+    if cached is not None:
+        return cached
+    result = _probe_toolchain(cxx)
+    with _PROBE_LOCK:
+        _TOOLCHAIN_PROBES[cxx] = result
     return result
 
 
@@ -259,6 +322,8 @@ class CppJitEngine:
 
     def _compile(self, src_path: Path, out_path: Path, parallel: bool = False) -> None:
         self._ensure_header()
+        if FAULTS.fire("compile_fail"):
+            raise CompilationError(f"injected compile failure for {src_path.name}")
         tmp = out_path.with_name(
             f"{out_path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
         )
@@ -266,12 +331,33 @@ class CppJitEngine:
         if parallel and openmp_available(self.cxx):
             cmd.append("-fopenmp")
         cmd += [f"-I{self.cache.cache_dir}", str(src_path), "-o", str(tmp)]
-        proc = subprocess.run(cmd, capture_output=True, text=True)
+        timeout = compile_timeout()
+        if FAULTS.fire("slow_compile"):
+            # a sleeper in place of the compiler, so the timeout
+            # machinery below trips exactly as it would for a wedged g++
+            delay = 4 * (timeout if timeout is not None else 1.0)
+            cmd = [sys.executable, "-c", f"import time; time.sleep({delay})"]
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True, timeout=timeout)
+        except subprocess.TimeoutExpired:
+            tmp.unlink(missing_ok=True)
+            raise CompilationError(
+                f"C++ compiler timed out after {timeout:g}s for {src_path.name} "
+                "(raise $PYGB_COMPILE_TIMEOUT for very large translation units)"
+            ) from None
         if proc.returncode != 0:
+            tmp.unlink(missing_ok=True)
             raise CompilationError(
                 f"g++ failed for {src_path.name}:\n{proc.stderr[-4000:]}"
             )
         os.replace(tmp, out_path)
+        if FAULTS.fire("corrupt_so"):
+            # truncate to the ELF header alone — a half-truncated .so can
+            # still dlopen and then SIGBUS at call time, which no userspace
+            # handler can recover from; header-only truncation guarantees
+            # dlopen itself fails with a clean OSError
+            data = out_path.read_bytes()
+            out_path.write_bytes(data[:512])
 
     def _compile_parallel(self, src_path: Path, out_path: Path) -> None:
         self._compile(src_path, out_path, parallel=True)
@@ -283,17 +369,58 @@ class CppJitEngine:
         return self._compile_parallel if spec.flag("par") else self._compile
 
     def _lib(self, spec: KernelSpec, scalar_out: bool = False) -> ctypes.CDLL:
+        """Compiled module for *spec*, with the resilience wrapper: a
+        quarantined spec fails fast (:class:`KernelQuarantined`, caught by
+        the dispatch fallback chain); compile/load failures are recorded
+        against this engine's health so hot loops stop re-attempting a
+        broken build."""
+        health = self.cache.health
+        health.check(self.name, spec.key)
+        try:
+            lib = self._load_lib(spec, scalar_out)
+        except CompilationError as exc:
+            self.cache.note_jit_failure()
+            health.record_failure(self.name, spec.key, exc)
+            raise
+        health.record_success(self.name, spec.key)
+        return lib
+
+    def _load_lib(self, spec: KernelSpec, scalar_out: bool) -> ctypes.CDLL:
         artifact = self.cache.get_module(
             spec, generate_cpp_source, suffix=".cpp", compiler=self.compiler_for(spec)
         )
         key = str(artifact)
         with self._libs_lock:
             lib = self._libs.get(key)
-            if lib is None:
-                lib = ctypes.CDLL(key)
-                lib.pygb_run.restype = None if scalar_out else c_int64
-                self._libs[key] = lib
-        return lib
+            if lib is not None:
+                return lib
+        try:
+            lib = self._dlopen(artifact)
+        except OSError as exc:
+            # a truncated or corrupt shared object that slipped past the
+            # manifest checksum (or an injected dlopen fault): invalidate
+            # the artifact, recompile once, then give up on this engine
+            self.cache.invalidate(spec, ".so")
+            artifact = self.cache.get_module(
+                spec, generate_cpp_source, suffix=".cpp",
+                compiler=self.compiler_for(spec),
+            )
+            try:
+                lib = self._dlopen(artifact)
+            except OSError as exc2:
+                raise CompilationError(
+                    f"cannot load compiled kernel {artifact.name} even after "
+                    f"rebuilding: {exc2} (first failure: {exc})"
+                ) from exc2
+        lib.pygb_run.restype = None if scalar_out else c_int64
+        with self._libs_lock:
+            return self._libs.setdefault(str(artifact), lib)
+
+    @staticmethod
+    def _dlopen(artifact) -> ctypes.CDLL:
+        if FAULTS.fire("dlopen_fail"):
+            raise OSError(f"injected dlopen failure for {artifact}")
+        return ctypes.CDLL(str(artifact))
 
     # ------------------------------------------------------------------
     # result unmarshalling

@@ -17,6 +17,7 @@ compiling at run time.
 
 from __future__ import annotations
 
+from ..exceptions import CompilationError
 from .cache import JitCache, default_cache
 from .cppcodegen import PARALLEL_FUNCS, generate_cpp_source
 from .spec import KernelSpec
@@ -135,6 +136,21 @@ def warm_cache(
             for spec in algorithm_module_specs(parallel)
         ]
     report = cache.precompile(jobs, max_workers=max_workers)
+    # failed specs are recorded against the cpp engine's health up front,
+    # so a later algorithm run skips straight to the fallback chain (and
+    # ``repro doctor`` shows what precompilation discovered); the report
+    # itself is the user-facing signal here, so the per-spec fallback
+    # warnings are suppressed
+    if report["failed"]:
+        import warnings
+
+        from ..exceptions import JitFallbackWarning
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", JitFallbackWarning)
+            for key, err in report["failed"]:
+                cache.note_jit_failure()
+                cache.health.record_failure(engine.name, key, CompilationError(err))
     report["parallel"] = parallel
     report["openmp"] = openmp_available(engine.cxx)
     return report

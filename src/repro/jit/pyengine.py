@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from ..backend.kernels import OpDesc
 from ..backend.ops_table import binary_result_dtype
+from ..exceptions import CompilationError
+from ..testing.faults import FAULTS
 from .cache import JitCache, default_cache
 from .pycodegen import generate_source
 from .spec import KernelSpec
@@ -49,7 +51,21 @@ class PyJitEngine:
         self.cache = cache if cache is not None else default_cache()
 
     def _module(self, spec: KernelSpec):
-        return self.cache.get_module(spec, generate_source, suffix=".py")
+        """Generated module for *spec*, with the same health tracking as
+        the C++ engine: failures quarantine the spec on this engine so
+        the dispatch chain degrades straight to the interpreter."""
+        health = self.cache.health
+        health.check(self.name, spec.key)
+        try:
+            if FAULTS.fire("pyjit_fail"):
+                raise CompilationError(f"injected pyjit failure for {spec.key}")
+            mod = self.cache.get_module(spec, generate_source, suffix=".py")
+        except CompilationError as exc:
+            self.cache.note_jit_failure()
+            health.record_failure(self.name, spec.key, exc)
+            raise
+        health.record_success(self.name, spec.key)
+        return mod
 
     # ------------------------------------------------------------------
     # multiplication

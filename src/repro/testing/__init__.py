@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+the fault-tolerance suite (and any downstream integration test) uses to
+exercise the JIT runtime's recovery paths without a genuinely broken
+toolchain.
+"""
+
+from .faults import FAULTS, FaultPlan, fault_injection
+
+__all__ = ["FAULTS", "FaultPlan", "fault_injection"]

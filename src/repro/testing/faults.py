@@ -1,0 +1,153 @@
+"""Deterministic fault injection for the JIT pipeline.
+
+The resilience layer (fallback chain, cache-integrity rebuilds, compile
+timeouts) only earns its keep if every recovery path is exercised by
+tests, and real faults — a wedged ``g++``, a half-written ``.so`` — are
+awkward to reproduce on demand.  This module plants named hook points in
+the engines; each hook asks :data:`FAULTS` whether it should fire.
+
+Faults are configured two ways:
+
+* the ``PYGB_FAULT`` environment variable, a comma-separated list of
+  ``kind`` or ``kind:rate`` entries, e.g.
+  ``PYGB_FAULT=compile_fail:0.5,slow_compile``;
+* programmatically via :meth:`FaultPlan.install` /
+  :func:`fault_injection` (the context-manager form tests use).
+
+Firing is **deterministic**, never random: each rule keeps an
+accumulator that starts at ``1 - rate``, adds ``rate`` per eligible
+call, and fires (subtracting 1) whenever it reaches 1.  So ``rate=1``
+fires on every call, ``rate=0.5`` on the 1st, 3rd, 5th, ... — the first
+eligible call always fires, which is what makes "corrupt the artifact
+once, then let the rebuild succeed" expressible as ``corrupt_so:0.5``.
+
+Supported kinds and their hook points:
+
+=============== ====================================================
+``compile_fail``  ``CppJitEngine._compile`` raises ``CompilationError``
+``slow_compile``  the compiler command is replaced by a sleeper so the
+                  ``PYGB_COMPILE_TIMEOUT`` machinery trips for real
+``corrupt_so``    the freshly compiled ``.so`` is truncated in place
+``dlopen_fail``   ``ctypes.CDLL`` load raises ``OSError``
+``pyjit_fail``    ``PyJitEngine._module`` raises ``CompilationError``
+=============== ====================================================
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FAULTS", "fault_injection"]
+
+FAULT_KINDS = frozenset(
+    {"compile_fail", "slow_compile", "corrupt_so", "dlopen_fail", "pyjit_fail"}
+)
+
+
+class _Rule:
+    __slots__ = ("rate", "acc", "times", "fired")
+
+    def __init__(self, rate: float, times: int | None = None):
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"fault rate must be in (0, 1], got {rate}")
+        self.rate = rate
+        self.acc = 1.0 - rate  # first eligible call always fires
+        self.times = times
+        self.fired = 0
+
+
+def _parse_env(raw: str) -> dict[str, _Rule]:
+    rules: dict[str, _Rule] = {}
+    for entry in raw.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        kind, _, rate_s = entry.partition(":")
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r} in $PYGB_FAULT; "
+                f"valid: {', '.join(sorted(FAULT_KINDS))}"
+            )
+        rules[kind] = _Rule(float(rate_s) if rate_s else 1.0)
+    return rules
+
+
+class FaultPlan:
+    """Process-wide fault table, re-synced whenever ``$PYGB_FAULT``
+    changes (so tests can flip the variable without extra plumbing)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._env_raw: str | None = None
+        self._rules: dict[str, _Rule] = {}
+
+    # -- configuration --------------------------------------------------
+    def install(self, kind: str, rate: float = 1.0, times: int | None = None) -> None:
+        """Programmatic hook: make *kind* fire at *rate*, at most *times*
+        times (None = unlimited).  Survives until :meth:`clear` or an
+        env-var change."""
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        with self._lock:
+            self._sync_env_locked()
+            self._rules[kind] = _Rule(rate, times)
+
+    def clear(self) -> None:
+        """Remove every rule (env-configured rules return if the env var
+        is still set on the next sync)."""
+        with self._lock:
+            self._rules.clear()
+            self._env_raw = os.environ.get("PYGB_FAULT", "")
+
+    def active(self) -> dict[str, dict]:
+        """Current rules with their firing counts (for ``repro doctor``)."""
+        with self._lock:
+            self._sync_env_locked()
+            return {
+                kind: {"rate": r.rate, "times": r.times, "fired": r.fired}
+                for kind, r in self._rules.items()
+            }
+
+    # -- the hook -------------------------------------------------------
+    def fire(self, kind: str) -> bool:
+        """Whether the hook point *kind* should inject its fault now."""
+        with self._lock:
+            self._sync_env_locked()
+            rule = self._rules.get(kind)
+            if rule is None:
+                return False
+            if rule.times is not None and rule.fired >= rule.times:
+                return False
+            rule.acc += rule.rate
+            if rule.acc >= 1.0 - 1e-9:
+                rule.acc -= 1.0
+                rule.fired += 1
+                return True
+            return False
+
+    def _sync_env_locked(self) -> None:
+        raw = os.environ.get("PYGB_FAULT", "")
+        if raw != self._env_raw:
+            self._env_raw = raw
+            self._rules = _parse_env(raw)
+
+
+#: the process-wide plan every hook point consults
+FAULTS = FaultPlan()
+
+
+class fault_injection:
+    """``with fault_injection("compile_fail", rate=0.5): ...`` — install a
+    rule for the duration of a block, restoring a clean table after."""
+
+    def __init__(self, kind: str, rate: float = 1.0, times: int | None = None):
+        self._kind, self._rate, self._times = kind, rate, times
+
+    def __enter__(self):
+        FAULTS.install(self._kind, self._rate, self._times)
+        return FAULTS
+
+    def __exit__(self, *exc):
+        FAULTS.clear()
+        return False

@@ -94,3 +94,64 @@ def test_engine_flag(graph_file, capsys):
 def test_missing_command_errors():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_doctor_reports_runtime_state(capsys):
+    assert main(["doctor"]) == 0
+    out = capsys.readouterr().out
+    assert "PyGB engine health" in out
+    assert "cache dir:" in out
+    assert "resilience:" in out
+    assert "unhealthy specs" in out
+
+
+def test_doctor_reports_recorded_failures(capsys):
+    from repro.exceptions import CompilationError
+    from repro.jit.cache import default_cache
+
+    cache = default_cache()
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        cache.health.record_failure(
+            "cpp", "mxv|a=float64", CompilationError("g++ exploded")
+        )
+    try:
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "unhealthy specs (1):" in out
+        assert "mxv|a=float64" in out
+        assert "g++ exploded" in out
+    finally:
+        cache.health.reset()
+
+
+def test_doctor_shows_active_fault_injection(capsys):
+    from repro.testing import FAULTS, fault_injection
+
+    FAULTS.clear()
+    with fault_injection("compile_fail", rate=0.5):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+    assert "fault injection:" in out
+    assert "compile_fail" in out
+
+
+@pytest.mark.skipif(
+    not __import__("os").path.exists("/bin/false"), reason="needs /bin/false"
+)
+def test_precompile_failure_exits_nonzero(tmp_path, monkeypatch, capsys):
+    from repro.jit.cache import reset_default_cache
+
+    monkeypatch.setenv("PYGB_CXX", "/bin/false")
+    monkeypatch.setenv("PYGB_CACHE_DIR", str(tmp_path))
+    reset_default_cache()
+    try:
+        assert main(["precompile"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        assert "failed to precompile" in captured.err
+    finally:
+        monkeypatch.undo()
+        reset_default_cache()

@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro as gb
-from repro.jit.cppengine import compiler_available
+from repro.jit.cppengine import toolchain_works
 
 N = 8
 
@@ -153,7 +153,7 @@ def test_interpreted_and_pyjit_agree(steps, mat1, mat2, v1, v2, v3):
 
 
 @pytest.mark.cpp
-@pytest.mark.skipif(not compiler_available(), reason="no C++ toolchain")
+@pytest.mark.skipif(not toolchain_works(), reason="no working C++ toolchain")
 @settings(max_examples=10, deadline=None)
 @given(
     steps=program(),

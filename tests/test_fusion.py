@@ -26,7 +26,7 @@ from repro.core.dispatch import CountingEngine, make_engine
 from repro.core.masks import AccumExpr
 from repro.core.plan import Plan, fusion_enabled
 from repro.jit.cppcodegen import CPP_GENERATORS, PARALLEL_FUNCS
-from repro.jit.cppengine import compiler_available
+from repro.jit.cppengine import toolchain_works
 from repro.jit.fused_ops import FUSED_OPS
 from repro.jit.pycodegen import GENERATORS
 
@@ -212,7 +212,7 @@ class TestPyJitDifferential:
 # equivalence: cpp fused vs interpreted unfused
 # ----------------------------------------------------------------------
 @pytest.mark.cpp
-@pytest.mark.skipif(not compiler_available(), reason="no C++ toolchain")
+@pytest.mark.skipif(not toolchain_works(), reason="no working C++ toolchain")
 class TestCppDifferential:
     @pytest.mark.parametrize("mode", ["plain", "mask"])
     @pytest.mark.parametrize("rule", sorted(_VEC_EXPRS))

@@ -24,14 +24,14 @@ from repro.backend.kernels import OpDesc
 from repro.backend.svector import SparseVector
 from repro.core.dispatch import InterpretedEngine
 from repro.jit.cache import JitCache
-from repro.jit.cppengine import compiler_available
+from repro.jit.cppengine import toolchain_works
 from repro.jit.spec import KernelSpec
 
 from helpers import mat_from_dict, random_mat_dict, random_vec_dict, vec_from_dict
 
 pytestmark = [
     pytest.mark.cpp,
-    pytest.mark.skipif(not compiler_available(), reason="no C++ toolchain"),
+    pytest.mark.skipif(not toolchain_works(), reason="no working C++ toolchain"),
 ]
 
 # large enough to trip every kernel's "worth parallelising" row/nnz guard

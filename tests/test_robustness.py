@@ -80,15 +80,33 @@ class TestConcurrency:
 
 
 class TestFailureInjection:
-    def test_corrupted_disk_artifact_raises_cleanly(self, tmp_path):
+    def test_corrupted_disk_artifact_rebuilt_transparently(self, tmp_path):
+        """A corrupted artifact fails the manifest checksum on the next
+        disk hit and is rebuilt in place — the caller never sees it."""
         cache = JitCache(tmp_path)
         spec = _spec()
         cache.get_module(spec, generate_source)
         cache.clear_memory()
         artifact = next(tmp_path.glob("pygb_mxv_*.py"))
         artifact.write_text("def run(:::  # truncated write")
-        with pytest.raises(CompilationError):
-            cache.get_module(spec, generate_source)
+        module = cache.get_module(spec, generate_source)
+        assert hasattr(module, "run")
+        assert cache.stats.integrity_rebuilds == 1
+        # the rebuilt artifact is whole again
+        assert "def run(:::" not in artifact.read_text()
+
+    def test_truncated_artifact_with_stale_manifest_rebuilt(self, tmp_path):
+        """Truncation (killed mid-write) is caught by the size fast path."""
+        cache = JitCache(tmp_path)
+        spec = _spec()
+        cache.get_module(spec, generate_source)
+        cache.clear_memory()
+        artifact = next(tmp_path.glob("pygb_mxv_*.py"))
+        data = artifact.read_bytes()
+        artifact.write_bytes(data[: len(data) // 2])
+        module = cache.get_module(spec, generate_source)
+        assert hasattr(module, "run")
+        assert cache.stats.integrity_rebuilds == 1
 
     def test_generator_exception_propagates(self, tmp_path):
         cache = JitCache(tmp_path)
@@ -127,10 +145,10 @@ class TestFailureInjection:
 class TestCppFailureInjection:
     @pytest.fixture(autouse=True)
     def _need_compiler(self):
-        from repro.jit.cppengine import compiler_available
+        from repro.jit.cppengine import toolchain_works
 
-        if not compiler_available():
-            pytest.skip("no C++ toolchain")
+        if not toolchain_works():
+            pytest.skip("no working C++ toolchain")
 
     def test_invalid_cpp_source_reports_gxx_stderr(self, tmp_path):
         from repro.jit.cppengine import CppJitEngine
@@ -149,6 +167,16 @@ class TestCppFailureInjection:
         monkeypatch.setattr(ce, "find_cxx_compiler", lambda: None)
         with pytest.raises(BackendUnavailable):
             ce.CppJitEngine()
+
+
+class TestExplicitEngineSelection:
+    def test_use_engine_cpp_raises_eagerly_without_compiler(self, monkeypatch):
+        """An explicitly requested cpp engine with a bogus $PYGB_CXX is a
+        configuration error and must fail at use_engine() time, not be
+        silently degraded like the env-selected default."""
+        monkeypatch.setenv("PYGB_CXX", "/nonexistent/pygb-test-compiler")
+        with pytest.raises(BackendUnavailable):
+            gb.use_engine("cpp")
 
 
 class TestEngineRobustness:

@@ -129,10 +129,10 @@ class TestDslUsage:
 class TestCppUserOps:
     @pytest.fixture(autouse=True)
     def _need_compiler(self):
-        from repro.jit.cppengine import compiler_available
+        from repro.jit.cppengine import toolchain_works
 
-        if not compiler_available():
-            pytest.skip("no C++ toolchain")
+        if not toolchain_works():
+            pytest.skip("no working C++ toolchain")
 
     def test_user_binary_on_cpp_engine(self, cleanup):
         op = gb.BinaryOp.define(
@@ -157,12 +157,20 @@ class TestCppUserOps:
             out = gb.Vector(gb.apply(op, v))
         assert list(out.to_numpy()) == [0.5, 1.0]
 
-    def test_user_op_without_cxx_rejected_on_cpp(self, cleanup):
-        from repro.exceptions import CompilationError
+    def test_user_op_without_cxx_degrades_on_cpp(self, cleanup, monkeypatch):
+        """A Python-only operator cannot compile to C++; the resilient
+        chain degrades to pyjit with a warning, and ``PYGB_JIT_STRICT=1``
+        restores the raise."""
+        from repro.exceptions import CompilationError, JitFallbackWarning
 
         op = gb.BinaryOp.define("TNoCxx", lambda a, b: a + b)
         cleanup.append("TNoCxx")
         u = gb.Vector([1.0])
+        with gb.use_engine("cpp"), op:
+            with pytest.warns(JitFallbackWarning):
+                w = gb.Vector(u + u)
+        assert w.to_numpy()[0] == 2.0
+        monkeypatch.setenv("PYGB_JIT_STRICT", "1")
         with gb.use_engine("cpp"), op:
             with pytest.raises(CompilationError):
                 gb.Vector(u + u)
