@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate a ``PYGB_TRACE=chrome:<path>`` export (CI gate).
+
+Checks that the file is loadable Chrome ``trace_event`` JSON, that it
+actually contains spans, that every event carries the keys the Chrome
+viewer requires, and that complete ("X") spans **nest** within each
+thread: a span must either be disjoint from the previous one or lie
+entirely inside it — partial overlap means broken clockwork (e.g. a
+kernel span leaking outside its dispatch span).
+
+Usage: ``python benchmarks/validate_trace.py /tmp/pygb-trace.json``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def validate(path: str) -> int:
+    with open(path) as f:
+        data = json.load(f)
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"FAIL: {path} has no traceEvents", file=sys.stderr)
+        return 1
+
+    spans = 0
+    by_thread: dict = {}
+    for ev in events:
+        for key in ("name", "cat", "ph", "pid", "tid", "ts"):
+            if key not in ev:
+                print(f"FAIL: event missing {key!r}: {ev}", file=sys.stderr)
+                return 1
+        if ev["ph"] == "X":
+            if "dur" not in ev:
+                print(f"FAIL: X event missing dur: {ev}", file=sys.stderr)
+                return 1
+            spans += 1
+            by_thread.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+        elif ev["ph"] == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                print(f"FAIL: instant event missing scope: {ev}", file=sys.stderr)
+                return 1
+        else:
+            print(f"FAIL: unexpected phase {ev['ph']!r}: {ev}", file=sys.stderr)
+            return 1
+
+    if spans == 0:
+        print("FAIL: trace contains no complete (X) spans", file=sys.stderr)
+        return 1
+
+    # nesting check: within a thread, sorted by start time, each span is
+    # either inside the enclosing open span or after it — never partial
+    nested = 0
+    for (pid, tid), evs in by_thread.items():
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: list = []  # (start, end) of open spans
+        for ev in evs:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack:
+                if end > stack[-1][1] + 1e-3:  # µs tolerance for rounding
+                    print(
+                        f"FAIL: span {ev['name']!r} [{start}, {end}] on "
+                        f"pid={pid} tid={tid} partially overlaps its "
+                        f"enclosing span {stack[-1]}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                nested += 1
+            stack.append((start, end))
+
+    cats = sorted({ev["cat"] for ev in events})
+    print(
+        f"OK: {path}: {len(events)} events ({spans} spans, "
+        f"{len(events) - spans} instants), {nested} properly nested, "
+        f"categories: {', '.join(cats)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        raise SystemExit(2)
+    raise SystemExit(validate(sys.argv[1]))

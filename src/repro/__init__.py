@@ -30,7 +30,7 @@ Three execution engines implement every operation (select with
   (the ablation baseline).
 """
 
-from . import io, utilities
+from . import io, obs, utilities
 from .core import (
     Accumulator,
     BinaryOp,
@@ -79,6 +79,7 @@ from .exceptions import (
     NoOperatorInContext,
     UnknownOperator,
 )
+from .obs import tracing
 
 __version__ = "1.0.0"
 
@@ -102,6 +103,9 @@ __all__ = [
     # engines
     "use_engine",
     "current_backend_engine",
+    # observability
+    "obs",
+    "tracing",
     # predefined algebra
     "PlusMonoid",
     "TimesMonoid",

@@ -11,6 +11,7 @@
     python -m repro engines                    # available execution engines
     python -m repro precompile                 # pre-build the C++ kernel cache
     python -m repro doctor                     # JIT runtime health report
+    python -m repro stats                      # per-op profile from traced runs
 
 Every command accepts ``--engine {interpreted,pyjit,cpp}``.
 """
@@ -18,6 +19,7 @@ Every command accepts ``--engine {interpreted,pyjit,cpp}``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -225,6 +227,55 @@ def cmd_doctor(args) -> int:
             for kind, rule in sorted(faults.items())
         )
         print(f"fault injection: {rendered}")
+    from .obs.stats import default_stats_path, load_stats
+
+    trace_env = os.environ.get("PYGB_TRACE")
+    stats_env = os.environ.get("PYGB_STATS")
+    print(
+        f"observability:   PYGB_TRACE={trace_env or 'unset'}   "
+        f"PYGB_STATS={stats_env or 'unset'}"
+    )
+    stats_path = default_stats_path()
+    data = load_stats(stats_path)
+    if data and data.get("ops"):
+        dispatches = sum(op["count"] for op in data["ops"].values())
+        print(
+            f"op stats:        {dispatches} traced dispatches across "
+            f"{len(data['ops'])} op(s) in {stats_path} "
+            "(run `python -m repro stats` for the profile)"
+        )
+    else:
+        print(
+            f"op stats:        none recorded (enable with PYGB_STATS=1 or "
+            f"PYGB_TRACE=...; would be stored in {stats_path})"
+        )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .jit.cache import default_cache
+    from .obs.stats import default_stats_path, load_stats, render_stats
+
+    path = args.file or default_stats_path()
+    if args.reset:
+        try:
+            os.unlink(path)
+            print(f"cleared {path}")
+        except FileNotFoundError:
+            print(f"nothing to clear at {path}")
+        return 0
+    data = load_stats(path)
+    if not data or not data.get("ops"):
+        print(f"no operation stats recorded at {path}")
+        print(
+            "run a workload with PYGB_STATS=1 (or PYGB_TRACE=chrome:/tmp/t.json) "
+            "first, e.g.:\n"
+            "    PYGB_STATS=1 python examples/pagerank_webgraph.py\n"
+            "    python -m repro stats"
+        )
+        return 1
+    print(f"stats file: {path}")
+    print(render_stats(data, cache_stats=default_cache().stats.snapshot()))
     return 0
 
 
@@ -292,6 +343,20 @@ def main(argv=None) -> int:
         help="engine-health report: toolchain, cache integrity, quarantined specs",
     )
     p.set_defaults(fn=cmd_doctor)
+
+    p = sub.add_parser(
+        "stats",
+        help="aggregated per-op profile from PYGB_STATS/PYGB_TRACE runs",
+    )
+    p.add_argument(
+        "--file", default=None,
+        help="stats JSON to render (default: $PYGB_STATS path or <cache>/stats.json)",
+    )
+    p.add_argument(
+        "--reset", action="store_true",
+        help="delete the accumulated stats file instead of rendering it",
+    )
+    p.set_defaults(fn=cmd_stats)
 
     args = parser.parse_args(argv)
     if args.engine:

@@ -20,7 +20,15 @@ import numpy as np
 from ..exceptions import InvalidValue
 from . import operators
 from .expressions import Apply, EWiseAdd, EWiseMult, Expression, TransposeView, TransposeExpr
-from .masks import AccumExpr, Complemented, MaskedView, SetKey, build_desc, parse_mask_key
+from .masks import (
+    ACCUM_APPLIED,
+    AccumExpr,
+    Complemented,
+    MaskedView,
+    SetKey,
+    build_desc,
+    parse_mask_key,
+)
 
 __all__ = ["Container"]
 
@@ -94,6 +102,10 @@ class Container:
         return self._extract(key)
 
     def __setitem__(self, key, value):
+        if value is ACCUM_APPLIED:
+            # trailing half of `C[M] += expr`: MaskedView.__iadd__ already
+            # applied the accumulate with the view's own SetKey
+            return
         accum = None
         if isinstance(value, AccumExpr):
             value = value.value

@@ -18,6 +18,8 @@ from __future__ import annotations
 import os
 import threading
 
+from .. import obs
+
 __all__ = [
     "push",
     "pop",
@@ -148,6 +150,10 @@ def current_backend_engine():
             )
             engine = make_engine(fallback)
         _engine_state.engine = engine
+    # the observability hook: one predicated branch per operation when
+    # tracing is off (the layer's zero-cost contract; see repro/obs)
+    if obs.ACTIVE:
+        return obs.wrap_engine(engine)
     return engine
 
 

@@ -10,19 +10,30 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import InvalidValue
+from ..exceptions import IndexOutOfBounds, InvalidValue
 
 __all__ = ["normalize_index", "parse_matrix_indices", "parse_vector_index"]
 
 
 def normalize_index(ix, dim: int) -> np.ndarray:
-    """A single axis subscript -> explicit int64 index array."""
+    """A single axis subscript -> explicit int64 index array.
+
+    Raises :class:`IndexOutOfBounds` (the GraphBLAS C API's
+    ``GrB_INDEX_OUT_OF_BOUNDS``) at parse time for any position outside
+    ``[-dim, dim)`` so no engine ever sees a wrapped or wild index —
+    the C++ kernels would otherwise read/write out of bounds silently.
+    Slices are exempt: Python slice semantics clamp to the dimension.
+    """
     if isinstance(ix, slice):
         return np.arange(*ix.indices(dim), dtype=np.int64)
     if isinstance(ix, (int, np.integer)):
         i = int(ix)
         if i < 0:
             i += dim
+        if i < 0 or i >= dim:
+            raise IndexOutOfBounds(
+                f"index {int(ix)} is out of bounds for dimension of size {dim}"
+            )
         return np.array([i], dtype=np.int64)
     arr = np.asarray(ix)
     if arr.dtype == bool:
@@ -31,6 +42,12 @@ def normalize_index(ix, dim: int) -> np.ndarray:
         )
     arr = arr.astype(np.int64).ravel()
     arr = np.where(arr < 0, arr + dim, arr)
+    if arr.size and ((arr < 0).any() or (arr >= dim).any()):
+        bad = arr[(arr < 0) | (arr >= dim)][0]
+        orig = bad - dim if bad < 0 else bad
+        raise IndexOutOfBounds(
+            f"index {int(orig)} is out of bounds for dimension of size {dim}"
+        )
     return arr
 
 

@@ -23,6 +23,20 @@ from . import context
 __all__ = ["Complemented", "MaskedView", "AccumExpr", "SetKey", "parse_mask_key", "build_desc"]
 
 
+class _AccumApplied:
+    """Sentinel returned by eager ``__iadd__`` implementations so the
+    trailing ``__setitem__`` of the ``C[M] += expr`` statement knows the
+    accumulate already happened and must not run a second time."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<accumulate already applied>"
+
+
+ACCUM_APPLIED = _AccumApplied()
+
+
 class Complemented:
     """A complemented mask: ``~M``.  Only meaningful in mask position."""
 
@@ -85,14 +99,15 @@ def parse_mask_key(key) -> SetKey | None:
         return SetKey(mask=key)
     if isinstance(key, Complemented):
         return SetKey(mask=key.container, complement=True)
-    if isinstance(key, tuple) and len(key) == 2 and isinstance(key[1], bool):
+    if isinstance(key, tuple) and len(key) == 2 and isinstance(key[1], (bool, np.bool_)):
         first = key[0]
+        replace = bool(key[1])
         if first is None:
-            return SetKey(mask=None, replace=key[1])
+            return SetKey(mask=None, replace=replace)
         if _is_container(first):
-            return SetKey(mask=first, replace=key[1])
+            return SetKey(mask=first, replace=replace)
         if isinstance(first, Complemented):
-            return SetKey(mask=first.container, complement=True, replace=key[1])
+            return SetKey(mask=first.container, complement=True, replace=replace)
     if _is_indexish(key):
         return None
     if isinstance(key, tuple) and all(_is_indexish(k) for k in key):
@@ -126,12 +141,68 @@ class MaskedView:
         self.setkey = setkey
 
     def __iadd__(self, value):
-        return AccumExpr(value)
+        """``C[M, True] += expr``: accumulate under this view's mask.
+
+        Applied eagerly with the view's own parsed :class:`SetKey`, so an
+        explicit replace flag always survives the ``__iadd__`` →
+        ``__setitem__`` round-trip (it is never re-derived from the raw
+        key or the ambient context).  Eager application also makes
+        ``mv = C[M]; mv += expr`` perform the write — previously that
+        spelling silently rebound ``mv`` to an inert marker.  The
+        trailing ``C.__setitem__`` of the statement form receives
+        :data:`ACCUM_APPLIED` and is a no-op.
+        """
+        from . import operators
+
+        self.container._set_masked(self.setkey, value, operators.resolve_accum_op())
+        return ACCUM_APPLIED
+
+    def __getitem__(self, index_key):
+        """``C[M][i, j]`` names a sub-region of the masked write target
+        (reading through a mask stays unsupported); it exists so
+        ``C[M][i, j] += v`` can desugar into a masked sub-assign with an
+        accumulate operator."""
+        return _MaskedRegion(self, index_key)
 
     def __setitem__(self, index_key, value):
         """``C[M][i, j] = A`` / ``levels[front][:] = depth`` — a masked
         assign into the addressed region."""
-        self.container._assign(self.setkey, index_key, value)
+        if value is ACCUM_APPLIED:
+            return  # the region's __iadd__ already did the write
+        accum = None
+        if isinstance(value, AccumExpr):
+            from . import operators
+
+            value = value.value
+            accum = operators.resolve_accum_op()
+        self.container._assign(self.setkey, index_key, value, accum)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MaskedView({self.container!r}, mask={self.setkey.mask!r})"
+
+
+class _MaskedRegion:
+    """``C[M][i, j]`` — an addressed sub-region of a masked write target.
+
+    Write-only, like the view that produced it: the only supported
+    operation is ``+=``, which performs the masked sub-assign accumulate
+    eagerly (with the view's SetKey, so replace/complement survive) and
+    hands :data:`ACCUM_APPLIED` back to ``MaskedView.__setitem__``.
+    """
+
+    __slots__ = ("view", "index_key")
+
+    def __init__(self, view: MaskedView, index_key):
+        self.view = view
+        self.index_key = index_key
+
+    def __iadd__(self, value):
+        from . import operators
+
+        self.view.container._assign(
+            self.view.setkey, self.index_key, value, operators.resolve_accum_op()
+        )
+        return ACCUM_APPLIED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_MaskedRegion({self.view!r}, {self.index_key!r})"

@@ -43,6 +43,7 @@ from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import obs
 from ..exceptions import CompilationError, JitFallbackWarning
 from .health import EngineHealth
 from .spec import KernelSpec
@@ -216,6 +217,8 @@ class JitCache:
         a dead pid means the file can never be renamed into place.  Files
         with unparseable names are only removed once older than an hour."""
         swept = 0
+        # wall clock on purpose: compared against st_mtime, which is wall
+        # time too.  Interval *timing* elsewhere uses perf_counter.
         now = time.time()
         for p in self.cache_dir.glob("*.tmp"):
             parts = p.name.split(".")
@@ -287,10 +290,14 @@ class JitCache:
     def note_jit_failure(self) -> None:
         with self._lock:
             self.stats.jit_failures += 1
+        if obs.ACTIVE:
+            obs.record_event("jit_failure", "cache")
 
     def note_fallback(self) -> None:
         with self._lock:
             self.stats.fallbacks += 1
+        if obs.ACTIVE:
+            obs.record_event("fallback", "cache")
 
     def invalidate(self, spec: KernelSpec, kind: str) -> None:
         """Forget *spec*'s artifact of *kind* everywhere (memory entry,
@@ -299,6 +306,8 @@ class JitCache:
         with self._lock:
             self._modules.pop((spec.key_hash, kind), None)
             self.stats.integrity_rebuilds += 1
+        if obs.ACTIVE:
+            obs.record_event("integrity_rebuild", "cache", spec=spec.key, kind=kind)
         self._discard_artifact(self.cache_dir / f"{spec.module_stem}{kind}")
 
     # ------------------------------------------------------------------
@@ -324,6 +333,8 @@ class JitCache:
             mod = self._modules.get(key)
             if mod is not None:
                 self.stats.memory_hits += 1
+                if obs.ACTIVE:
+                    obs.record_event("memory_hit", "cache", spec=spec.key, kind=kind)
                 return mod
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
@@ -332,6 +343,8 @@ class JitCache:
                 mod = self._modules.get(key)
                 if mod is not None:
                     self.stats.memory_hits += 1
+                    if obs.ACTIVE:
+                        obs.record_event("memory_hit", "cache", spec=spec.key, kind=kind)
                     return mod
             artifact = self.cache_dir / f"{spec.module_stem}{kind}"
 
@@ -357,11 +370,22 @@ class JitCache:
                     self.stats.compile_seconds += compile_s
                     self.stats.compiles += 1
                     self.stats.per_func[spec.func] = self.stats.per_func.get(spec.func, 0) + 1
+                if obs.ACTIVE:
+                    obs.record_event(
+                        "compile",
+                        "cache",
+                        spec=spec.key,
+                        kind=kind,
+                        generate_ms=round(generate_s * 1e3, 3),
+                        compile_ms=round(compile_s * 1e3, 3),
+                    )
 
             built_now = False
             if artifact.exists() and self._artifact_intact(artifact):
                 with self._lock:
                     self.stats.disk_hits += 1
+                if obs.ACTIVE:
+                    obs.record_event("disk_hit", "cache", spec=spec.key, kind=kind)
             else:
                 if artifact.exists():
                     # truncated/corrupt leftover (killed compile, disk
@@ -369,6 +393,10 @@ class JitCache:
                     self._discard_artifact(artifact)
                     with self._lock:
                         self.stats.integrity_rebuilds += 1
+                    if obs.ACTIVE:
+                        obs.record_event(
+                            "integrity_rebuild", "cache", spec=spec.key, kind=kind
+                        )
                 build()
                 built_now = True
             t0 = time.perf_counter()
@@ -386,6 +414,10 @@ class JitCache:
                     self._discard_artifact(artifact)
                     with self._lock:
                         self.stats.integrity_rebuilds += 1
+                    if obs.ACTIVE:
+                        obs.record_event(
+                            "integrity_rebuild", "cache", spec=spec.key, kind=kind
+                        )
                     build()
                     mod = self._import_py(artifact, spec)
             import_s = time.perf_counter() - t0

@@ -25,11 +25,13 @@ import subprocess
 import sys
 import tempfile
 import threading
+import time
 from ctypes import POINTER, byref, c_double, c_int64, c_void_p
 from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..backend.ops_table import (
     DEFAULT_IDENTITY_NAME,
     binary_result_dtype,
@@ -376,6 +378,7 @@ class CppJitEngine:
         broken build."""
         health = self.cache.health
         health.check(self.name, spec.key)
+        t0 = time.perf_counter_ns() if obs.ACTIVE else 0
         try:
             lib = self._load_lib(spec, scalar_out)
         except CompilationError as exc:
@@ -383,6 +386,16 @@ class CppJitEngine:
             health.record_failure(self.name, spec.key, exc)
             raise
         health.record_success(self.name, spec.key)
+        if obs.ACTIVE:
+            tracer = obs.active_tracer()
+            if tracer is not None:
+                tracer.record(
+                    "module_lookup",
+                    "jit",
+                    t0,
+                    time.perf_counter_ns() - t0,
+                    {"engine": self.name, "spec": spec.key},
+                )
         return lib
 
     def _load_lib(self, spec: KernelSpec, scalar_out: bool) -> ctypes.CDLL:
@@ -413,6 +426,12 @@ class CppJitEngine:
                     f"rebuilding: {exc2} (first failure: {exc})"
                 ) from exc2
         lib.pygb_run.restype = None if scalar_out else c_int64
+        try:
+            # observability accessor generated alongside every kernel
+            # since CODEGEN_VERSION 7; guard for exotic/legacy artifacts
+            lib.pygb_kernel_ns.restype = c_int64
+        except AttributeError:  # pragma: no cover
+            pass
         with self._libs_lock:
             return self._libs.setdefault(str(artifact), lib)
 
@@ -421,6 +440,40 @@ class CppJitEngine:
         if FAULTS.fire("dlopen_fail"):
             raise OSError(f"injected dlopen failure for {artifact}")
         return ctypes.CDLL(str(artifact))
+
+    # ------------------------------------------------------------------
+    # the FFI boundary
+    # ------------------------------------------------------------------
+    def _ffi_call(self, lib, args):
+        """One ``pygb_run`` invocation with the observability split:
+        Python's monotonic clock around the whole call (FFI total) and
+        the kernel's own C++-side clock pair read back through
+        ``pygb_kernel_ns()``; the difference is the ctypes/marshalling
+        boundary cost (the per-op overhead of paper Figs. 7/8)."""
+        if not obs.ACTIVE:
+            return lib.pygb_run(*args)
+        tracer = obs.active_tracer()
+        if tracer is None:
+            return lib.pygb_run(*args)
+        t0 = time.perf_counter_ns()
+        try:
+            return lib.pygb_run(*args)
+        finally:
+            dur = time.perf_counter_ns() - t0
+            kernel_fn = getattr(lib, "pygb_kernel_ns", None)
+            kernel_ns = int(kernel_fn()) if kernel_fn is not None else None
+            tracer.record(
+                "ffi_call",
+                "ffi",
+                t0,
+                dur,
+                {
+                    "engine": "cpp",
+                    "lib": os.path.basename(lib._name) if lib._name else None,
+                    "kernel_ns": kernel_ns,
+                    "boundary_ns": dur - kernel_ns if kernel_ns is not None else None,
+                },
+            )
 
     # ------------------------------------------------------------------
     # result unmarshalling
@@ -436,7 +489,7 @@ class CppJitEngine:
     def _run_vec_out(self, lib, packed: _Args, size: int, dtype) -> SparseVector:
         out_idx = POINTER(c_int64)()
         out_vals = c_void_p()
-        nnz = lib.pygb_run(*packed.args, byref(out_idx), byref(out_vals))
+        nnz = self._ffi_call(lib, (*packed.args, byref(out_idx), byref(out_vals)))
         if nnz < 0:
             raise CompilationError("C++ kernel signalled failure")
         if nnz > 0:
@@ -453,8 +506,9 @@ class CppJitEngine:
         out_indptr = POINTER(c_int64)()
         out_indices = POINTER(c_int64)()
         out_values = c_void_p()
-        nnz = lib.pygb_run(
-            *packed.args, byref(out_indptr), byref(out_indices), byref(out_values)
+        nnz = self._ffi_call(
+            lib,
+            (*packed.args, byref(out_indptr), byref(out_indices), byref(out_values)),
         )
         if nnz < 0:
             raise CompilationError("C++ kernel signalled failure")
@@ -659,7 +713,7 @@ class CppJitEngine:
         p.raw(d)
         p.raw(i)
         p.ptr(out.view(np.uint8) if dt == np.bool_ else out)
-        lib.pygb_run(*p.args)
+        self._ffi_call(lib, p.args)
         val = out.view(np.bool_)[0] if dt == np.bool_ else out[0]
         return dt.type(val)
 
@@ -949,7 +1003,7 @@ class CppJitEngine:
         p.raw(d)
         p.raw(i)
         p.ptr(out.view(np.uint8) if pdt == np.bool_ else out)
-        lib.pygb_run(*p.args)
+        self._ffi_call(lib, p.args)
         val = out.view(np.bool_)[0] if pdt == np.bool_ else out[0]
         return pdt.type(val)
 

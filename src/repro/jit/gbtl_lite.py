@@ -51,6 +51,27 @@ namespace GB {
 using Index = int64_t;
 
 // ---------------------------------------------------------------------
+// kernel-time observability.  Every generated pygb_run stack-allocates a
+// KernelTimer; its destructor stores the kernel's wall time (monotonic
+// clock — clock_gettime(CLOCK_MONOTONIC) under the hood) in a
+// thread-local slot the binding exposes through pygb_kernel_ns().  The
+// Python tracer subtracts this from its own around-the-FFI-call timing
+// to split marshalling overhead from compute (paper Figs. 7/8).
+// ---------------------------------------------------------------------
+inline int64_t& last_kernel_ns_ref() {
+    thread_local int64_t ns = 0;
+    return ns;
+}
+
+struct KernelTimer {
+    std::chrono::steady_clock::time_point t0{std::chrono::steady_clock::now()};
+    ~KernelTimer() {
+        last_kernel_ns_ref() = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0).count();
+    }
+};
+
+// ---------------------------------------------------------------------
 // threading runtime.  Serial artifacts are compiled from this same file
 // without -fopenmp: the pragmas vanish and num_threads() pins to 1, so
 // every kernel below takes its original single-threaded path.

@@ -121,6 +121,14 @@ class EngineHealth:
                     )
             newly = not rec.warned and not strict
             rec.warned = rec.warned or newly
+        if not strict:
+            from .. import obs
+
+            if obs.ACTIVE:
+                obs.record_event(
+                    "quarantine", "cache", engine=engine, spec=key,
+                    failures=rec.failures,
+                )
         if newly:
             warnings.warn(
                 f"pygb: {engine} JIT failed for {key} "

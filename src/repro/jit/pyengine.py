@@ -10,6 +10,9 @@ through the memory→disk→compile cache, and invokes its ``run``.
 
 from __future__ import annotations
 
+import time
+
+from .. import obs
 from ..backend.kernels import OpDesc
 from ..backend.ops_table import binary_result_dtype
 from ..exceptions import CompilationError
@@ -40,6 +43,35 @@ def _unary_params(op_spec) -> tuple[dict, object]:
     return {"form": "bind", "uop": op, "side": side}, const
 
 
+class _TracedModule:
+    """Stand-in for a generated module while tracing is active: its
+    ``run`` gets a span carrying the kernel spec, nested inside the
+    dispatch-level op span."""
+
+    __slots__ = ("_mod", "_key", "_tracer")
+
+    def __init__(self, mod, key: str, tracer):
+        self._mod = mod
+        self._key = key
+        self._tracer = tracer
+
+    def run(self, *args, **kwargs):
+        t0 = time.perf_counter_ns()
+        try:
+            return self._mod.run(*args, **kwargs)
+        finally:
+            self._tracer.record(
+                "kernel",
+                "pyjit",
+                t0,
+                time.perf_counter_ns() - t0,
+                {"engine": "pyjit", "spec": self._key},
+            )
+
+    def __getattr__(self, attr):  # anything beyond run (tests, repr)
+        return getattr(self._mod, attr)
+
+
 class PyJitEngine:
     """Engine-interface implementation backed by generated Python modules."""
 
@@ -56,6 +88,7 @@ class PyJitEngine:
         the dispatch chain degrades straight to the interpreter."""
         health = self.cache.health
         health.check(self.name, spec.key)
+        t0 = time.perf_counter_ns() if obs.ACTIVE else 0
         try:
             if FAULTS.fire("pyjit_fail"):
                 raise CompilationError(f"injected pyjit failure for {spec.key}")
@@ -65,6 +98,17 @@ class PyJitEngine:
             health.record_failure(self.name, spec.key, exc)
             raise
         health.record_success(self.name, spec.key)
+        if obs.ACTIVE:
+            tracer = obs.active_tracer()
+            if tracer is not None:
+                tracer.record(
+                    "module_lookup",
+                    "jit",
+                    t0,
+                    time.perf_counter_ns() - t0,
+                    {"engine": self.name, "spec": spec.key},
+                )
+                return _TracedModule(mod, spec.key, tracer)
         return mod
 
     # ------------------------------------------------------------------
