@@ -116,6 +116,28 @@ def _engine_call_counts(n: int) -> dict:
     return out
 
 
+def _nonblocking_call_counts(n: int) -> dict:
+    """Engine calls for one PageRank run, blocking vs nonblocking (pyjit):
+    the lazy queue's dead-store elimination and copy elision remove whole
+    dispatches deterministically, on top of per-statement fusion."""
+    from repro.core.nonblocking import reset_stats, stats
+
+    out = {}
+    for label, deferred in (("blocking", False), ("nonblocking", True)):
+        eng = CountingEngine(make_engine("pyjit"))
+        reset_stats()
+        with gb.use_engine(eng):
+            if deferred:
+                with gb.nonblocking():
+                    _pagerank_run(n)()
+            else:
+                _pagerank_run(n)()
+        out[label] = {"total": eng.total, "per_method": dict(sorted(eng.counts.items()))}
+        if deferred:
+            out[label]["queue"] = stats()
+    return out
+
+
 def main() -> None:
     engines = ["pyjit"] + (["cpp"] if compiler_available() else [])
     results: dict = {
@@ -131,6 +153,7 @@ def main() -> None:
         "chains": {},
         "pagerank": {},
         "pagerank_engine_calls": _engine_call_counts(512),
+        "pagerank_mode_calls": _nonblocking_call_counts(512),
     }
 
     for engine_name in engines:

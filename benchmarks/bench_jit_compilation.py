@@ -11,7 +11,6 @@ for both code generators:
 """
 
 import numpy as np
-import pytest
 
 from repro.backend.kernels import OpDesc
 from repro.backend.svector import SparseVector

@@ -21,7 +21,6 @@ from __future__ import annotations
 import json
 import os
 import statistics
-import sys
 import tempfile
 import time
 from pathlib import Path

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Normalize benchmark output into a per-commit ``BENCH_<sha>.json``.
+
+The perf-trajectory CI leg runs this after the timing benchmarks.  Two
+kinds of metrics land in the file:
+
+* **tracked** — deterministic dispatch/engine-call counts and queue
+  statistics, measured in-process here (CountingEngine, no timing).
+  These are machine-independent, so ``check_regression.py`` gates them
+  hard against ``benchmarks/bench_baseline.json``;
+* **timing** — wall-clock medians copied from
+  ``benchmarks/results/{fusion,overhead}.json`` when those files exist
+  (i.e. when ``bench_fusion.py`` / ``bench_overhead.py`` ran first).
+  Machine-dependent, recorded for trajectory plots, never gated.
+
+Usage::
+
+    python benchmarks/bench_fusion.py          # optional, for timings
+    python benchmarks/bench_overhead.py        # optional, for timings
+    python benchmarks/collect_bench.py [--sha abc1234] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+os.environ.setdefault("PYGB_CACHE_DIR", str(REPO_ROOT / ".pygb_cache"))
+
+import repro as gb  # noqa: E402
+from repro.algorithms import pagerank  # noqa: E402
+from repro.core.dispatch import CountingEngine, make_engine  # noqa: E402
+from repro.core.nonblocking import reset_stats, stats  # noqa: E402
+from repro.io.generators import erdos_renyi  # noqa: E402
+
+PAGERANK_N = 256
+CHAIN_N = 128
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _count(fn, fusion: bool) -> int:
+    old = os.environ.get("PYGB_FUSION")
+    os.environ["PYGB_FUSION"] = "1" if fusion else "0"
+    try:
+        eng = CountingEngine(make_engine("pyjit"))
+        with gb.use_engine(eng):
+            fn()
+        return eng.total
+    finally:
+        if old is None:
+            os.environ.pop("PYGB_FUSION", None)
+        else:
+            os.environ["PYGB_FUSION"] = old
+
+
+def _pagerank_metrics() -> dict:
+    import numpy as np
+
+    g = erdos_renyi(PAGERANK_N, seed=7, weighted=True, dtype=float)
+
+    def blocking():
+        pr = gb.Vector(shape=(PAGERANK_N,), dtype=float)
+        pagerank(g, pr, threshold=1.0e-8)
+        return pr
+
+    def deferred():
+        pr = gb.Vector(shape=(PAGERANK_N,), dtype=float)
+        with gb.nonblocking():
+            pagerank(g, pr, threshold=1.0e-8)
+        return pr
+
+    metrics = {
+        "pagerank.dispatches.fused": _count(blocking, fusion=True),
+        "pagerank.dispatches.eager": _count(blocking, fusion=False),
+    }
+    reset_stats()
+    metrics["pagerank.dispatches.nonblocking"] = _count(deferred, fusion=True)
+    queue = stats()
+    metrics["pagerank.queue.dead_stores"] = queue["dead_stores"]
+    metrics["pagerank.queue.copy_elisions"] = queue["copy_elisions"]
+    # bit-identical across modes is an invariant, not a metric — assert it
+    # here so a broken queue can never publish a green trajectory point
+    rb = blocking().to_numpy()
+    rn = deferred().to_numpy()
+    assert np.array_equal(rb, rn), "nonblocking PageRank diverged from blocking"
+    return metrics
+
+
+def _chain_metrics() -> dict:
+    """Dispatch counts for the fusible two-op chains (fused vs eager)."""
+    import numpy as np
+
+    n = CHAIN_N
+    a = erdos_renyi(n, seed=n, weighted=True, dtype=float)
+    rng = np.random.default_rng(n)
+    u = gb.Vector((rng.uniform(1, 2, n), np.arange(n)), shape=(n,))
+    v = gb.Vector((rng.uniform(1, 2, n), np.arange(n)), shape=(n,))
+    w = gb.Vector(shape=(n,), dtype=float)
+
+    chains = {
+        "mxv_apply": lambda: w.__setitem__(None, (a @ u) * 0.85),
+        "ewise_mult_apply": lambda: w.__setitem__(None, (u * v) + 0.15),
+        "ewise_mult_reduce": lambda: gb.reduce(u * v),
+        "mxm_reduce_rows": lambda: w.__setitem__(None, gb.reduce("Plus", a @ a)),
+    }
+    metrics = {}
+    for label, fn in chains.items():
+        metrics[f"chain.{label}.dispatches.fused"] = _count(fn, fusion=True)
+        metrics[f"chain.{label}.dispatches.eager"] = _count(fn, fusion=False)
+    return metrics
+
+
+def _timing_sections() -> dict:
+    timings = {}
+    for name in ("fusion", "overhead"):
+        path = RESULTS_DIR / f"{name}.json"
+        if path.exists():
+            timings[name] = json.loads(path.read_text())
+    return timings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sha", default=None, help="commit sha (default: git HEAD)")
+    parser.add_argument("--output", default=None, help="output path (default: BENCH_<sha>.json)")
+    args = parser.parse_args(argv)
+
+    sha = args.sha or _git_sha()
+    metrics = {}
+    metrics.update(_pagerank_metrics())
+    metrics.update(_chain_metrics())
+
+    doc = {
+        "schema": 1,
+        "sha": sha,
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        # every tracked metric is a lower-is-better deterministic count
+        "tracked": sorted(metrics),
+        "metrics": metrics,
+        "timings": _timing_sections(),
+    }
+
+    out_path = Path(args.output) if args.output else REPO_ROOT / f"BENCH_{sha}.json"
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    for key in sorted(metrics):
+        print(f"  {key:45s} {metrics[key]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -295,11 +295,8 @@ def run_fig11() -> None:
 def run_compile() -> None:
     import tempfile
 
-    from repro.backend.kernels import OpDesc
-    from repro.backend.svector import SparseVector
     from repro.jit.cache import JitCache
     from repro.jit.pycodegen import generate_source
-    from repro.jit.pyengine import PyJitEngine
     from repro.jit.spec import KernelSpec
 
     rows = []

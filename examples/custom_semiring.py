@@ -14,7 +14,6 @@ Two classic non-standard algebras:
 Run:  python examples/custom_semiring.py
 """
 
-import numpy as np
 
 import repro as gb
 

@@ -43,10 +43,12 @@ from .core import (
     apply,
     current_backend_engine,
     kron,
+    nonblocking,
     reduce,
     select,
     transpose,
     use_engine,
+    wait,
 )
 from .core.predefined import (
     ArithmeticSemiring,
@@ -103,6 +105,9 @@ __all__ = [
     # engines
     "use_engine",
     "current_backend_engine",
+    # execution mode (blocking is the default; see docs/architecture.md §12)
+    "nonblocking",
+    "wait",
     # observability
     "obs",
     "tracing",

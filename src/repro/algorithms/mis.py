@@ -18,9 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import core
-from ..backend.kernels import OpDesc
 from ..backend.svector import SparseVector
-from ..core.context import current_backend_engine
 from ..core.operators import Semiring
 from ..core.predefined import LogicalSemiring, MaxMonoid
 
@@ -34,7 +32,6 @@ def maximal_independent_set(adjacency: "core.Matrix", seed: int = 0) -> "core.Ve
     gb = core
     n = adjacency.nrows
     rng = np.random.default_rng(seed)
-    eng = current_backend_engine()
 
     iset = gb.Vector(shape=(n,), dtype=bool)
     candidates = gb.Vector(

@@ -4,7 +4,6 @@ lower-triangular half of the undirected adjacency matrix."""
 
 from __future__ import annotations
 
-import numpy as np
 
 from .. import core
 from ..backend import kernels as K

@@ -8,10 +8,11 @@ from .operators import (
     Semiring,
     UnaryOp,
 )
-from .context import Replace, current_backend_engine, use_engine
+from .context import Replace, current_backend_engine, current_raw_engine, use_engine
 from .matrix import Matrix
 from .vector import Vector
 from .functions import apply, kron, reduce, select, transpose
+from .nonblocking import nonblocking, wait
 
 __all__ = [
     "Matrix",
@@ -29,4 +30,7 @@ __all__ = [
     "kron",
     "use_engine",
     "current_backend_engine",
+    "current_raw_engine",
+    "nonblocking",
+    "wait",
 ]

@@ -41,19 +41,47 @@ class Container:
     """Base class: operator overloads and the subscript protocol."""
 
     is_vector = False
-    _store = None  # backend SparseMatrix / SparseVector
+    _backing = None  # backend SparseMatrix / SparseVector
+    _nb_entry = None  # pending nonblocking-queue entry writing this container
+
+    # ------------------------------------------------------------------
+    # the store accessor doubles as the nonblocking observation point:
+    # any read of a pending container's store flushes the lazy queue
+    # first (program order), so every conversion / extraction / mask use
+    # stays correct in nonblocking mode without per-call-site hooks
+    # ------------------------------------------------------------------
+    @property
+    def _store(self):
+        if self._nb_entry is not None:
+            from .nonblocking import flush
+
+            flush("observe")
+        return self._backing
+
+    @_store.setter
+    def _store(self, store):
+        if self._nb_entry is not None:
+            # an out-of-band rebind (clear(), io helpers) while a write is
+            # pending: run the pending program-order writes first
+            from .nonblocking import flush
+
+            flush("store-rebind")
+        self._backing = store
 
     # ------------------------------------------------------------------
     # shared properties
     # ------------------------------------------------------------------
     @property
     def nvals(self) -> int:
-        """Number of stored values (``GrB_nvals``)."""
+        """Number of stored values (``GrB_nvals``) — an observation, so it
+        flushes pending nonblocking work."""
         return self._store.nvals
 
     @property
     def dtype(self) -> np.dtype:
-        return self._store.dtype
+        # dtype is write-invariant (kernels preserve the output dtype), so
+        # reading it must not force a nonblocking flush
+        return self._backing.dtype
 
     # ------------------------------------------------------------------
     # arithmetic operators build deferred expressions
@@ -117,6 +145,16 @@ class Container:
             self._set_masked(setkey, value, accum)
 
     def _set_masked(self, setkey: SetKey, value, accum: str | None):
+        from .nonblocking import enabled, enqueue_set
+
+        if enabled() and enqueue_set(self, setkey, value, accum):
+            return
+        self._set_masked_exec(setkey, value, accum)
+
+    def _set_masked_exec(self, setkey: SetKey, value, accum: str | None):
+        """The dispatching tail of :meth:`_set_masked` — runs eagerly in
+        blocking mode, and at flush time (with a frozen ``setkey``) for
+        deferred statements."""
         from .plan import evaluate
 
         desc = build_desc(setkey, accum)
@@ -134,11 +172,18 @@ class Container:
         else:
             raise InvalidValue(f"cannot assign object of type {type(value).__name__}")
 
+    def _assign(self, setkey: SetKey, index_key, value, accum=None):
+        from .nonblocking import enabled, enqueue_assign
+
+        if enabled() and enqueue_assign(self, setkey, index_key, value, accum):
+            return
+        self._assign_exec(setkey, index_key, value, accum)
+
     # subclasses implement:
     def _extract(self, key):  # pragma: no cover - interface
         raise NotImplementedError
 
-    def _assign(self, setkey: SetKey, index_key, value, accum=None):  # pragma: no cover
+    def _assign_exec(self, setkey: SetKey, index_key, value, accum=None):  # pragma: no cover
         raise NotImplementedError
 
     def _full_slice(self):  # pragma: no cover - interface

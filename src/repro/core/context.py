@@ -29,6 +29,7 @@ __all__ = [
     "replace_active",
     "use_engine",
     "current_backend_engine",
+    "current_raw_engine",
 ]
 
 _state = threading.local()
@@ -154,6 +155,20 @@ def current_backend_engine():
     # tracing is off (the layer's zero-cost contract; see repro/obs)
     if obs.ACTIVE:
         return obs.wrap_engine(engine)
+    return engine
+
+
+def current_raw_engine():
+    """The thread's engine *without* the observability wrapper.
+
+    The nonblocking queue captures this per entry so deferred statements
+    replay on the engine that was current when they were issued; the
+    flush re-enters through :func:`current_backend_engine`, which applies
+    the tracing wrapper exactly once."""
+    engine = getattr(_engine_state, "engine", None)
+    if engine is None:
+        current_backend_engine()  # resolve (and possibly degrade) once
+        engine = _engine_state.engine
     return engine
 
 

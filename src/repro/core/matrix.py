@@ -15,8 +15,6 @@ sharing as future work).
 
 from __future__ import annotations
 
-import numbers
-
 import numpy as np
 
 from ..backend.smatrix import SparseMatrix
@@ -106,15 +104,16 @@ class Matrix(Container):
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, int]:
-        return self._store.shape
+        # extent is write-invariant: no nonblocking flush on shape reads
+        return self._backing.shape
 
     @property
     def nrows(self) -> int:
-        return self._store.nrows
+        return self._backing.nrows
 
     @property
     def ncols(self) -> int:
-        return self._store.ncols
+        return self._backing.ncols
 
     @property
     def T(self) -> TransposeView:
@@ -159,7 +158,10 @@ class Matrix(Container):
             )
         return ExtractMat(self, rows, cols)
 
-    def _assign(self, setkey: SetKey, index_key, value, accum=None):
+    def _validate_index(self, index_key) -> None:
+        parse_matrix_indices(index_key, self.shape)
+
+    def _assign_exec(self, setkey: SetKey, index_key, value, accum=None):
         from .vector import Vector
 
         rows, cols, kind = parse_matrix_indices(index_key, self.shape)

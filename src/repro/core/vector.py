@@ -86,11 +86,12 @@ class Vector(Container):
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
-        return self._store.size
+        # extent is write-invariant: no nonblocking flush on shape reads
+        return self._backing.size
 
     @property
     def shape(self) -> tuple[int]:
-        return (self._store.size,)
+        return (self._backing.size,)
 
     # ------------------------------------------------------------------
     # multiplication builds deferred expressions
@@ -123,7 +124,10 @@ class Vector(Container):
             return val.item() if hasattr(val, "item") else val
         return ExtractVec(lambda: self._store, self.size, idx)
 
-    def _assign(self, setkey: SetKey, index_key, value, accum=None):
+    def _validate_index(self, index_key) -> None:
+        parse_vector_index(index_key, self.size)
+
+    def _assign_exec(self, setkey: SetKey, index_key, value, accum=None):
         idx, _kind = parse_vector_index(index_key, self.size)
         desc = build_desc(setkey, accum)
         eng = current_backend_engine()

@@ -787,6 +787,173 @@ class CppJitEngine:
         return self._run_vec_out(lib, p, out.size, out.dtype)
 
     # ------------------------------------------------------------------
+    # compile prefetch (nonblocking queue): predict the kernel specs a
+    # deferred expression will dispatch so the JIT cache can start g++
+    # in the background while the queue is still being built
+    # ------------------------------------------------------------------
+    def prefetch_jobs(self, expr, out_dtype, desc):
+        """Best-effort ``(spec, generate, suffix, compiler)`` jobs for the
+        kernels evaluating *expr* into a *out_dtype* container under
+        *desc* will need — including the fused kernels the planner is
+        predicted to emit for ``apply(producer)`` pairs.  Mispredictions
+        are harmless: the flush compiles whatever is missing, and warm
+        cache entries are hits, not rebuilds."""
+        from ..backend.kernels import OpDesc
+        from ..core import expressions as ex
+        from ..core.plan import fusion_enabled
+
+        jobs: list = []
+        seen: set[int] = set()
+        fuse = fusion_enabled()
+
+        def dt(operand):
+            return np.dtype(ex._dtype_of(operand))
+
+        def add_job(spec):
+            jobs.append(
+                (spec, generate_cpp_source, ".cpp", self.compiler_for(spec))
+            )
+
+        def fused_apply(node, out_dt, dp):
+            """Predict the planner's producer+apply fusion; returns True
+            when a fused spec was emitted for this node."""
+            child = node.a
+            if (
+                not isinstance(child, ex.Expression)
+                or child._materialized is not None
+                or getattr(node, "ta", False)
+            ):
+                return False
+            _d, _i, form, uop, side = self._apply_spec_parts(node.op_spec, out_dt)
+            ck = type(child)
+            if ck in (ex.MXV, ex.VXM):
+                lhs, rhs = (
+                    (dt(child.a), dt(child.u))
+                    if ck is ex.MXV
+                    else (dt(child.u), dt(child.a))
+                )
+                tdt = binary_result_dtype(child.mult_op, lhs, rhs)
+                pdt = binary_result_dtype(child.add_op, tdt, tdt)
+                add_job(self._spec(
+                    "mxv_apply" if ck is ex.MXV else "vxm_apply",
+                    a=KernelSpec.dt(dt(child.a)),
+                    u=KernelSpec.dt(dt(child.u)),
+                    c=KernelSpec.dt(out_dt),
+                    t_dtype=KernelSpec.dt(tdt),
+                    p=KernelSpec.dt(pdt),
+                    add=child.add_op,
+                    mult=child.mult_op,
+                    form=form,
+                    uop=uop,
+                    side=side,
+                    fused=True,
+                    **dp,
+                ))
+            elif ck in (ex.EWiseAdd, ex.EWiseMult):
+                pdt = binary_result_dtype(child.op, dt(child.a), dt(child.b))
+                shape = "mat" if child.produces_matrix else "vec"
+                add_job(self._spec(
+                    f"{child.kind}_{shape}_apply",
+                    a=KernelSpec.dt(dt(child.a)),
+                    b=KernelSpec.dt(dt(child.b)),
+                    c=KernelSpec.dt(out_dt),
+                    t_dtype=KernelSpec.dt(pdt),
+                    p=KernelSpec.dt(pdt),
+                    op=child.op,
+                    form=form,
+                    uop=uop,
+                    side=side,
+                    fused=True,
+                    **dp,
+                ))
+            else:
+                return False
+            for slot in child.operand_slots:
+                walk(getattr(child, slot), None, None)
+            return True
+
+        def walk(node, out_dt, node_desc):
+            if not isinstance(node, ex.Expression) or node._materialized is not None:
+                return
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            if out_dt is None:
+                out_dt = dt(node)  # interior temporaries use natural dtype
+            dp = _desc_params(node_desc if node_desc is not None else OpDesc())
+            kind = type(node)
+            if kind is ex.Apply and fuse and fused_apply(node, out_dt, dp):
+                return
+            if kind in (ex.MXV, ex.VXM):
+                lhs, rhs = (
+                    (dt(node.a), dt(node.u))
+                    if kind is ex.MXV
+                    else (dt(node.u), dt(node.a))
+                )
+                tdt = binary_result_dtype(node.mult_op, lhs, rhs)
+                add_job(self._spec(
+                    "mxv" if kind is ex.MXV else "vxm",
+                    a=KernelSpec.dt(dt(node.a)),
+                    u=KernelSpec.dt(dt(node.u)),
+                    c=KernelSpec.dt(out_dt),
+                    t_dtype=KernelSpec.dt(tdt),
+                    add=node.add_op,
+                    mult=node.mult_op,
+                    **dp,
+                ))
+            elif kind is ex.MXM:
+                tdt = binary_result_dtype(node.mult_op, dt(node.a), dt(node.b))
+                add_job(self._spec(
+                    "mxm",
+                    a=KernelSpec.dt(dt(node.a)),
+                    b=KernelSpec.dt(dt(node.b)),
+                    c=KernelSpec.dt(out_dt),
+                    t_dtype=KernelSpec.dt(tdt),
+                    add=node.add_op,
+                    mult=node.mult_op,
+                    **dp,
+                ))
+            elif kind in (ex.EWiseAdd, ex.EWiseMult):
+                tdt = binary_result_dtype(node.op, dt(node.a), dt(node.b))
+                shape = "mat" if node.produces_matrix else "vec"
+                add_job(self._spec(
+                    f"{node.kind}_{shape}",
+                    a=KernelSpec.dt(dt(node.a)),
+                    b=KernelSpec.dt(dt(node.b)),
+                    c=KernelSpec.dt(out_dt),
+                    t_dtype=KernelSpec.dt(tdt),
+                    op=node.op,
+                    **dp,
+                ))
+            elif kind is ex.Apply:
+                _d, _i, form, op, side = self._apply_spec_parts(node.op_spec, out_dt)
+                shape = "mat" if node.produces_matrix else "vec"
+                add_job(self._spec(
+                    f"apply_{shape}",
+                    a=KernelSpec.dt(dt(node.a)),
+                    c=KernelSpec.dt(out_dt),
+                    form=form,
+                    op=op,
+                    side=side,
+                    **dp,
+                ))
+            elif kind is ex.ReduceRows:
+                add_job(self._spec(
+                    "reduce_rows",
+                    a=KernelSpec.dt(dt(node.a)),
+                    c=KernelSpec.dt(out_dt),
+                    op=node.op,
+                    **dp,
+                ))
+            # Select / Kronecker / Transpose / Extract are rare enough that
+            # the flush-time compile is acceptable; operands still walk
+            for slot in node.operand_slots:
+                walk(getattr(node, slot), None, None)
+
+        walk(expr, np.dtype(out_dtype), desc)
+        return jobs
+
+    # ------------------------------------------------------------------
     # fused kernels (planner output; one FFI call for a producer+consumer
     # pair, intermediate stays inside the shared object)
     # ------------------------------------------------------------------

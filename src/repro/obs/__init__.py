@@ -42,6 +42,7 @@ __all__ = [
     "active_tracer",
     "wrap_engine",
     "record_event",
+    "record_span",
     "default_stats_path",
     "load_stats",
     "merge_stats",
@@ -76,6 +77,14 @@ def record_event(name: str, cat: str, **attrs) -> None:
     tracer = _TRACER
     if tracer is not None:
         tracer.instant(name, cat, attrs)
+
+
+def record_span(name: str, cat: str, t0_ns: int, dur_ns: int, **attrs) -> None:
+    """Complete span with explicit start/duration (nonblocking-queue flush
+    spans and other non-engine work); caller guards with ``obs.ACTIVE``."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.record(name, cat, t0_ns, dur_ns, attrs)
 
 
 def _install(tracer: Tracer | None) -> Tracer | None:

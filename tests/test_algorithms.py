@@ -107,7 +107,7 @@ class TestSSSP:
             assert got[k] == pytest.approx(dsl[k])
 
     def test_scipy_oracle(self, engine):
-        sp = pytest.importorskip("scipy.sparse")
+        pytest.importorskip("scipy.sparse")
         from scipy.sparse.csgraph import dijkstra
 
         g = grid_graph(6, weighted=True, seed=8, dtype=float)

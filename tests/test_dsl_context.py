@@ -4,11 +4,10 @@ handling."""
 
 import threading
 
-import numpy as np
 import pytest
 
 import repro as gb
-from repro.core import context, operators
+from repro.core import context
 from repro.core.operators import (
     Accumulator,
     BinaryOp,

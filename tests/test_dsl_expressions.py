@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 import repro as gb
-from repro.core.expressions import EWiseAdd, Expression, MXM, MXV, VXM, TransposeView
+from repro.core.expressions import Expression, MXM, MXV, VXM, TransposeView
 
 
 @pytest.fixture

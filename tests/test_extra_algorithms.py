@@ -15,7 +15,7 @@ from repro.algorithms import (
     k_truss,
     maximal_independent_set,
 )
-from repro.io.generators import erdos_renyi, grid_graph, ring_graph
+from repro.io.generators import erdos_renyi, ring_graph
 
 nx = pytest.importorskip("networkx")
 

@@ -8,7 +8,6 @@ and the cross-process stats merge behind ``python -m repro stats``.
 
 import json
 
-import numpy as np
 import pytest
 
 import repro as gb

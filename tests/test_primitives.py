@@ -1,7 +1,6 @@
 """Unit tests for the vectorised backend primitives."""
 
 import numpy as np
-import pytest
 
 from repro.backend import primitives as P
 

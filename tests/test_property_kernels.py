@@ -6,9 +6,6 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-import repro as gb
-from repro.backend import primitives as P
-from repro.backend import reference as R
 from repro.backend.kernels import (
     OpDesc,
     ewise_add_vec,
@@ -21,7 +18,6 @@ from repro.backend.smatrix import SparseMatrix
 from repro.backend.svector import SparseVector
 
 SIZE = 10
-
 
 @st.composite
 def sparse_vec(draw, size=SIZE, dtype=np.float64):
@@ -39,7 +35,6 @@ def sparse_vec(draw, size=SIZE, dtype=np.float64):
         vals = draw(st.lists(st.integers(-100, 100), min_size=n, max_size=n))
     return SparseVector.from_coo(size, idx, np.asarray(vals, dtype=dtype), dtype)
 
-
 @st.composite
 def sparse_mat(draw, nrows=SIZE, ncols=SIZE, dtype=np.float64):
     n = draw(st.integers(0, nrows * ncols // 2))
@@ -55,7 +50,6 @@ def sparse_mat(draw, nrows=SIZE, ncols=SIZE, dtype=np.float64):
     rows = [f // ncols for f in flat]
     cols = [f % ncols for f in flat]
     return SparseMatrix.from_coo(nrows, ncols, rows, cols, np.asarray(vals, dtype=dtype), dtype)
-
 
 class TestEWiseStructure:
     @settings(max_examples=60, deadline=None)
@@ -87,7 +81,6 @@ class TestEWiseStructure:
         w1 = ewise_add_vec(SparseVector.empty(SIZE, np.float64), u, v, "Plus")
         w2 = ewise_add_vec(SparseVector.empty(SIZE, np.float64), v, u, "Plus")
         assert w1.to_dict() == w2.to_dict()
-
 
 class TestMaskLaws:
     @settings(max_examples=60, deadline=None)
@@ -124,7 +117,6 @@ class TestMaskLaws:
                 assert (i in dm) == (i in dc)
                 if i in dc:
                     assert dm[i] == dc[i]
-
 
 class TestSemiringLaws:
     @settings(max_examples=30, deadline=None)
@@ -177,7 +169,6 @@ class TestSemiringLaws:
         s = reduce_vec_scalar(u, "Plus")
         assert abs(s - float(u.values.sum())) < 1e-9
 
-
 class TestTranspose:
     @settings(max_examples=50, deadline=None)
     @given(a=sparse_mat(nrows=7, ncols=11))
@@ -201,7 +192,6 @@ class TestTranspose:
         assert set(lgot) == set(rgot)
         for k in lgot:
             assert abs(lgot[k] - rgot[k]) < 1e-6 * max(1.0, abs(rgot[k]))
-
 
 class TestBuildInvariants:
     @settings(max_examples=50, deadline=None)

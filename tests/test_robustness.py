@@ -191,7 +191,6 @@ class TestEngineRobustness:
 
     def test_env_selected_engine(self, monkeypatch):
         monkeypatch.setenv("PYGB_BACKEND", "interpreted")
-        import repro.core.context as ctx
 
         # a thread with no cached engine resolves from the env var
         seen = {}
