@@ -42,6 +42,8 @@ from repro.io.generators import erdos_renyi  # noqa: E402
 
 PAGERANK_N = 256
 CHAIN_N = 128
+RMAT_SCALE = 9
+RMAT_EDGE_FACTOR = 16
 
 
 def _git_sha() -> str:
@@ -126,6 +128,55 @@ def _chain_metrics() -> dict:
     return metrics
 
 
+def _schedule_metrics() -> dict:
+    """Direction-optimization counters for BFS on a power-law R-MAT
+    graph (the schedule layer's headline workload).
+
+    ``PYGB_SCHEDULE_TUNER=0`` pins the pure cost model, so the examined
+    edge counts and switch count are fully deterministic and gate hard.
+    Two invariants are asserted rather than tracked: every mode yields
+    bit-identical levels, and the auto schedule examines at least 2x
+    fewer edges than fixed-push (the direction-optimization payoff).
+    """
+    from repro import schedule as S
+    from repro.algorithms import bfs_levels
+    from repro.io.generators import rmat
+
+    g = rmat(RMAT_SCALE, edge_factor=RMAT_EDGE_FACTOR, seed=42)
+    old = os.environ.get("PYGB_SCHEDULE_TUNER")
+    os.environ["PYGB_SCHEDULE_TUNER"] = "0"
+    try:
+        levels, counters = {}, {}
+        for mode in ("fixed", "push", "pull", "auto"):
+            S.reset_stats()
+            levels[mode] = bfs_levels(g, 0, schedule=mode)._store.to_dict()
+            counters[mode] = S.stats()
+    finally:
+        if old is None:
+            os.environ.pop("PYGB_SCHEDULE_TUNER", None)
+        else:
+            os.environ["PYGB_SCHEDULE_TUNER"] = old
+
+    for mode in ("push", "pull", "auto"):
+        assert levels[mode] == levels["fixed"], (
+            f"schedule mode {mode!r} diverged from the dense BFS levels"
+        )
+    auto_edges = counters["auto"]["edges_total"]
+    push_edges = counters["push"]["edges_total"]
+    assert auto_edges * 2 <= push_edges, (
+        f"direction-optimized BFS examined {auto_edges} edges, expected "
+        f"at least 2x fewer than fixed-push ({push_edges})"
+    )
+    return {
+        "bfs_rmat.edges.dense": counters["fixed"]["edges_total"],
+        "bfs_rmat.edges.push": push_edges,
+        "bfs_rmat.edges.pull": counters["pull"]["edges_total"],
+        "bfs_rmat.edges.auto": auto_edges,
+        "bfs_rmat.switches.auto": counters["auto"]["switches"],
+        "bfs_rmat.fallbacks.auto": counters["auto"]["fallbacks"],
+    }
+
+
 def _timing_sections() -> dict:
     timings = {}
     for name in ("fusion", "overhead"):
@@ -145,6 +196,7 @@ def main(argv=None) -> int:
     metrics = {}
     metrics.update(_pagerank_metrics())
     metrics.update(_chain_metrics())
+    metrics.update(_schedule_metrics())
 
     doc = {
         "schema": 1,

@@ -82,6 +82,7 @@ from .exceptions import (
     UnknownOperator,
 )
 from .obs import tracing
+from .schedule import Scheduled
 
 __version__ = "1.0.0"
 
@@ -108,6 +109,8 @@ __all__ = [
     # execution mode (blocking is the default; see docs/architecture.md §12)
     "nonblocking",
     "wait",
+    # traversal schedule override (push/pull direction; §13)
+    "Scheduled",
     # observability
     "obs",
     "tracing",

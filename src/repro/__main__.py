@@ -198,6 +198,13 @@ def cmd_doctor(args) -> int:
         f"retries: {jit_retries()}   "
         f"compile timeout: {f'{timeout:g}s' if timeout else 'disabled'}"
     )
+    from . import schedule as _schedule
+
+    print(
+        f"schedule:        {_schedule.schedule_mode()} (PYGB_SCHEDULE)   "
+        f"autotuner: {'on' if _schedule.tuner_enabled() else 'off'} "
+        f"(PYGB_SCHEDULE_TUNER)"
+    )
     snap = cache.stats.snapshot()
     print(
         f"cache activity:  {snap['memory_hits']} memory hits, "

@@ -7,9 +7,12 @@ is the GBTL C++ of Fig. 2c transliterated to direct backend-kernel calls
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from .. import core
+from .. import schedule as _schedule
 from ..backend import kernels as K
 from ..backend.kernels import OpDesc
 from ..backend.smatrix import SparseMatrix
@@ -19,26 +22,51 @@ from ..core.predefined import LogicalSemiring
 __all__ = ["bfs", "bfs_native"]
 
 
-def bfs(graph: "core.Matrix", frontier: "core.Vector", levels: "core.Vector") -> "core.Vector":
+def _scheduled(schedule):
+    """Context for an algorithm's ``schedule=`` knob: a ``Scheduled``
+    override when given, a no-op otherwise (environment default)."""
+    if schedule is None:
+        return contextlib.nullcontext()
+    return _schedule.Scheduled(schedule)
+
+
+def bfs(
+    graph: "core.Matrix",
+    frontier: "core.Vector",
+    levels: "core.Vector",
+    schedule: str | None = None,
+) -> "core.Vector":
     """Level-synchronous BFS: on return ``levels[v]`` is 1 + the hop
     distance from the seed(s) set in *frontier*; unreached vertices hold
-    no entry.  (Paper Fig. 2b.)"""
+    no entry.  (Paper Fig. 2b.)
+
+    This is the canonical direction-optimizing traversal (Beamer et al.,
+    SC'12): each ``graph.T @ frontier`` step is masked by the unvisited
+    set, so under the default ``auto`` schedule sparse frontiers run the
+    push (scatter) kernel and dense frontiers switch to the pull (masked
+    gather) kernel with its LogicalOr early exit.  *schedule* overrides
+    ``$PYGB_SCHEDULE`` for this call (``"auto"``, ``"fixed"``,
+    ``"push"``, ``"pull"``); results are bit-identical either way.
+    """
     gb = core
     depth = 0
-    while frontier.nvals > 0:
-        depth += 1
-        levels[frontier][:] = depth
-        with LogicalSemiring, gb.Replace:
-            frontier[~levels] = graph.T @ frontier
+    with _scheduled(schedule):
+        while frontier.nvals > 0:
+            depth += 1
+            levels[frontier][:] = depth
+            with LogicalSemiring, gb.Replace:
+                frontier[~levels] = graph.T @ frontier
     return levels
 
 
-def bfs_levels(graph: "core.Matrix", source: int) -> "core.Vector":
+def bfs_levels(
+    graph: "core.Matrix", source: int, schedule: str | None = None
+) -> "core.Vector":
     """Convenience wrapper: run :func:`bfs` from a single source vertex."""
     n = graph.nrows
     frontier = core.Vector(([True], [source]), shape=(n,), dtype=bool)
     levels = core.Vector(shape=(n,), dtype=np.int64)
-    return bfs(graph, frontier, levels)
+    return bfs(graph, frontier, levels, schedule=schedule)
 
 
 def bfs_native(graph: SparseMatrix, source: int) -> SparseVector:

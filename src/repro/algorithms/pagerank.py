@@ -36,8 +36,17 @@ def pagerank(
     damping_factor: float = 0.85,
     threshold: float = 1.0e-5,
     max_iters: int = 100000,
+    schedule: str | None = None,
 ) -> "core.Vector":
-    """Paper Fig. 7: writes ranks into *page_rank* and returns it."""
+    """Paper Fig. 7: writes ranks into *page_rank* and returns it.
+
+    The rank vector is dense from the first iteration, so the power
+    iteration's ``page_rank @ m`` stays on the scatter/dense kernels
+    (*schedule* — overriding ``$PYGB_SCHEDULE`` — mostly matters here as
+    a regression lever: every mode must produce bit-identical ranks).
+    """
+    from .bfs import _scheduled
+
     gb = core
     rows, _cols = graph.shape
 
@@ -51,21 +60,22 @@ def pagerank(
     new_rank = gb.Vector(shape=page_rank.shape, dtype=m.dtype)
     delta = gb.Vector(shape=page_rank.shape, dtype=m.dtype)
 
-    for _ in range(max_iters):
-        with Accumulator("Second"), Semiring(PlusMonoid, "Times"):
-            new_rank[None] += page_rank @ m
+    with _scheduled(schedule):
+        for _ in range(max_iters):
+            with Accumulator("Second"), Semiring(PlusMonoid, "Times"):
+                new_rank[None] += page_rank @ m
 
-        with UnaryOp("Plus", (1.0 - damping_factor) / rows):
-            new_rank[None] = gb.apply(new_rank)
+            with UnaryOp("Plus", (1.0 - damping_factor) / rows):
+                new_rank[None] = gb.apply(new_rank)
 
-        with BinaryOp("Minus"):
-            delta[None] = page_rank + new_rank
+            with BinaryOp("Minus"):
+                delta[None] = page_rank + new_rank
 
-        squared_error = gb.reduce(delta * delta)
+            squared_error = gb.reduce(delta * delta)
 
-        page_rank[:] = new_rank
-        if (squared_error / rows) < threshold:
-            break
+            page_rank[:] = new_rank
+            if (squared_error / rows) < threshold:
+                break
     return page_rank
 
 

@@ -21,16 +21,29 @@ from ..core.predefined import MinPlusSemiring
 __all__ = ["sssp", "sssp_distances", "sssp_native"]
 
 
-def sssp(graph: "core.Matrix", path: "core.Vector") -> "core.Vector":
+def sssp(
+    graph: "core.Matrix", path: "core.Vector", schedule: str | None = None
+) -> "core.Vector":
     """Paper Fig. 4a verbatim: *path* holds 0 at the source(s) on entry
-    and the shortest distances on return (no entry = unreachable)."""
-    with MinPlusSemiring, Accumulator("Min"):
+    and the shortest distances on return (no entry = unreachable).
+
+    The relaxation ``graph.T @ path`` is unmasked, so the schedule layer
+    chooses between the push (scatter over the settled frontier) and
+    dense kernels; *schedule* overrides ``$PYGB_SCHEDULE`` for this call.
+    Early rounds with few settled vertices favour push, late rounds the
+    dense sweep — results are bit-identical in every mode.
+    """
+    from .bfs import _scheduled
+
+    with _scheduled(schedule), MinPlusSemiring, Accumulator("Min"):
         for _ in range(graph.shape[0]):
             path[None] += graph.T @ path
     return path
 
 
-def sssp_converging(graph: "core.Matrix", path: "core.Vector") -> "core.Vector":
+def sssp_converging(
+    graph: "core.Matrix", path: "core.Vector", schedule: str | None = None
+) -> "core.Vector":
     """Fig. 4a plus a fixed-point test after each relaxation round.
 
     The paper's listing always runs ``|V|`` rounds; on the Erdős–Rényi
@@ -38,8 +51,10 @@ def sssp_converging(graph: "core.Matrix", path: "core.Vector") -> "core.Vector":
     the benchmarks use this variant *in all three execution versions* to
     keep the measured work identical (see EXPERIMENTS.md).
     """
+    from .bfs import _scheduled
+
     n = graph.shape[0]
-    with MinPlusSemiring, Accumulator("Min"):
+    with _scheduled(schedule), MinPlusSemiring, Accumulator("Min"):
         for _ in range(n):
             before_nvals = path.nvals
             before = path.dup()
@@ -49,10 +64,12 @@ def sssp_converging(graph: "core.Matrix", path: "core.Vector") -> "core.Vector":
     return path
 
 
-def sssp_distances(graph: "core.Matrix", source: int) -> "core.Vector":
+def sssp_distances(
+    graph: "core.Matrix", source: int, schedule: str | None = None
+) -> "core.Vector":
     """Convenience wrapper: distances from a single source vertex."""
     path = core.Vector(([0.0], [source]), shape=(graph.nrows,), dtype=graph.dtype)
-    return sssp(graph, path)
+    return sssp(graph, path, schedule=schedule)
 
 
 def sssp_native(graph: SparseMatrix, source: int) -> SparseVector:

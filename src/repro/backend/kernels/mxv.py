@@ -1,16 +1,71 @@
 """Matrix-vector and vector-matrix multiply over an arbitrary semiring
-(GraphBLAS ``mxv`` / ``vxm``)."""
+(GraphBLAS ``mxv`` / ``vxm``), with schedule-directed traversal.
+
+A resolved :class:`repro.schedule.Schedule` annotation selects among
+three bit-identical strategies (see that module for the ordering
+argument): the legacy full-row ``dense`` gather, the frontier-driven
+``push`` scatter over the transpose, and the mask-candidate ``pull``
+gather with a per-row early exit for the ``LogicalOr`` monoid.  The
+gather and scatter forms of the operand matrix are passed as thunks so
+only the strategy actually chosen pays its (memoized) transpose build —
+push-heavy iterations never materialize the gather form and vice versa.
+"""
 
 from __future__ import annotations
 
-from ..smatrix import SparseMatrix
-from ..svector import SparseVector
+from ... import schedule as _schedule
+from ...exceptions import DimensionMismatch
 from .. import ops_table, primitives as P
 from ..ops_table import binary_def, binary_result_dtype, reduce_ufunc
-from ...exceptions import DimensionMismatch
+from ..smatrix import SparseMatrix
+from ..svector import SparseVector
 from .common import OpDesc, finalize_vec
 
 __all__ = ["mxv", "vxm"]
+
+
+def _traverse(gather_of, scatter_of, u, mult2, add_op, compute_dtype, sched):
+    """Compute the unmasked product ``t`` under the scheduled direction.
+
+    *gather_of*/*scatter_of* are zero-arg thunks returning the two
+    orientations of the operand matrix (row-gather form and its
+    transpose).  Returns ``(t_indices, t_values)`` and feeds the
+    schedule layer's deterministic edges-examined counter.
+    """
+    reduce_uf = reduce_ufunc(add_op)
+    logical = ops_table.binary_def(add_op).kind == "logical"
+    direction = sched.direction if sched is not None else "dense"
+    if direction == "push":
+        s = scatter_of()
+        t_idx, t_vals, edges = P.spmv_push(
+            s.indptr, s.indices, s.values, u.indices, u.values,
+            mult2, reduce_uf, compute_dtype, logical,
+        )
+    elif direction == "pull":
+        g = gather_of()
+        x_dense, x_present = u.dense_lookup()
+        if add_op == "LogicalOr":
+            t_idx, t_vals, edges = P.spmv_pull_logical(
+                g.indptr, g.indices, g.values, sched.candidates,
+                x_dense, x_present, mult2,
+            )
+            t_vals = t_vals.astype(compute_dtype, copy=False)
+        else:
+            t_idx, t_vals, edges = P.spmv_pull(
+                g.indptr, g.indices, g.values, sched.candidates,
+                x_dense, x_present, mult2, reduce_uf, compute_dtype, logical,
+            )
+    else:
+        g = gather_of()
+        x_dense, x_present = u.dense_lookup()
+        t_idx, t_vals = P.spmv_gather(
+            g.indptr, g.indices, g.values, g.nrows,
+            x_dense, x_present, mult2, reduce_uf, compute_dtype, logical,
+        )
+        edges = int(g.indices.size)
+    if sched is not None:
+        _schedule.note_edges(direction, edges)
+    return t_idx, t_vals
 
 
 def mxv(
@@ -21,32 +76,31 @@ def mxv(
     mult_op: str,
     desc: OpDesc = OpDesc(),
     transpose_a: bool = False,
+    sched=None,
 ) -> SparseVector:
     """``w<m, z> = w (accum) A ⊕.⊗ u``.
 
-    The sparse operand ``u`` is scattered to a dense lookup once, so the
-    per-nonzero gather over A is a single fancy index (see
-    :func:`~repro.backend.primitives.spmv_gather`).
+    Under the default ``dense`` schedule the sparse operand ``u`` is
+    scattered to a dense lookup once, so the per-nonzero gather over A
+    is a single fancy index (see
+    :func:`~repro.backend.primitives.spmv_gather`); *sched* redirects to
+    the push or pull strategy.
     """
-    if transpose_a:
-        a = a.transposed()
-    if a.ncols != u.size:
-        raise DimensionMismatch(f"mxv: matrix has {a.ncols} columns, vector size {u.size}")
-    if a.nrows != w.size:
-        raise DimensionMismatch(f"mxv: matrix has {a.nrows} rows, output size {w.size}")
-    x_dense, x_present = u.dense_lookup()
+    in_size = a.nrows if transpose_a else a.ncols
+    out_size = a.ncols if transpose_a else a.nrows
+    if in_size != u.size:
+        raise DimensionMismatch(f"mxv: matrix has {in_size} columns, vector size {u.size}")
+    if out_size != w.size:
+        raise DimensionMismatch(f"mxv: matrix has {out_size} rows, output size {w.size}")
     compute_dtype = binary_result_dtype(mult_op, a.dtype, u.dtype)
-    t_idx, t_vals = P.spmv_gather(
-        a.indptr,
-        a.indices,
-        a.values,
-        a.nrows,
-        x_dense,
-        x_present,
+    t_idx, t_vals = _traverse(
+        (lambda: a.transposed()) if transpose_a else (lambda: a),
+        (lambda: a) if transpose_a else (lambda: a.transposed()),
+        u,
         binary_def(mult_op).func,
-        reduce_ufunc(add_op),
+        add_op,
         compute_dtype,
-        logical=ops_table.binary_def(add_op).kind == "logical",
+        sched,
     )
     return finalize_vec(w, t_idx, t_vals, desc)
 
@@ -59,30 +113,30 @@ def vxm(
     mult_op: str,
     desc: OpDesc = OpDesc(),
     transpose_a: bool = False,
+    sched=None,
 ) -> SparseVector:
     """``w<m, z> = w (accum) u ⊕.⊗ A`` — row vector times matrix.
 
-    Implemented as ``mxv`` on the (cached) transpose, with the multiply
-    operands swapped back so non-commutative ``⊗`` sees ``u ⊗ A`` order.
+    The gather form is ``mxv`` on the (cached) transpose with the
+    multiply operands swapped back so non-commutative ``⊗`` sees
+    ``u ⊗ A`` order; the push form scatters along the rows of ``A``
+    itself, needing no transpose at all.
     """
-    at = a if transpose_a else a.transposed()
-    if at.ncols != u.size:
+    in_size = a.ncols if transpose_a else a.nrows
+    out_size = a.nrows if transpose_a else a.ncols
+    if in_size != u.size:
         raise DimensionMismatch(f"vxm: vector size {u.size}, matrix shape {a.shape}")
-    if at.nrows != w.size:
+    if out_size != w.size:
         raise DimensionMismatch(f"vxm: output size {w.size}, matrix shape {a.shape}")
-    x_dense, x_present = u.dense_lookup()
     compute_dtype = binary_result_dtype(mult_op, u.dtype, a.dtype)
     mult = binary_def(mult_op).func
-    t_idx, t_vals = P.spmv_gather(
-        at.indptr,
-        at.indices,
-        at.values,
-        at.nrows,
-        x_dense,
-        x_present,
+    t_idx, t_vals = _traverse(
+        (lambda: a) if transpose_a else (lambda: a.transposed()),
+        (lambda: a.transposed()) if transpose_a else (lambda: a),
+        u,
         lambda av, xv: mult(xv, av),  # u(k) ⊗ A(k, j): vector value on the left
-        reduce_ufunc(add_op),
+        add_op,
         compute_dtype,
-        logical=ops_table.binary_def(add_op).kind == "logical",
+        sched,
     )
     return finalize_vec(w, t_idx, t_vals, desc)

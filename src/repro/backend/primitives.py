@@ -37,6 +37,9 @@ __all__ = [
     "finalize",
     "spgemm_expand",
     "spmv_gather",
+    "spmv_push",
+    "spmv_pull",
+    "spmv_pull_logical",
 ]
 
 _EMPTY_I = np.empty(0, dtype=np.int64)
@@ -296,3 +299,136 @@ def spmv_gather(
     starts = segment_starts(rows)
     out_vals = segment_reduce(reduce_uf, np.asarray(prods), starts, logical)
     return rows[starts], out_vals.astype(out_dtype, copy=False)
+
+
+def spmv_push(
+    s_indptr: np.ndarray,
+    s_indices: np.ndarray,
+    s_values: np.ndarray,
+    u_indices: np.ndarray,
+    u_values: np.ndarray,
+    map2,
+    reduce_uf: np.ufunc,
+    out_dtype: np.dtype,
+    logical: bool = False,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Frontier-driven scatter SpMV: walk only the rows of the *scatter*
+    matrix (the transpose of the gather form) named by the stored entries
+    of ``u``, examining ``Σ degree(frontier)`` edges instead of ``nnz``.
+
+    *map2* receives ``(matrix_values, broadcast_u_values)``; callers
+    wanting ``u ⊗ a`` order (``vxm``) swap inside their callable, exactly
+    as the gather path does.  Bit-identity with :func:`spmv_gather`:
+    frontier rows expand in ascending inner-index order and
+    :func:`coalesce` sorts stably, so each output position reduces its
+    products in the same ascending-``k`` order the row gather uses.
+
+    Returns ``(indices, values, edges_examined)``.
+    """
+    counts = (s_indptr[u_indices + 1] - s_indptr[u_indices]).astype(np.int64)
+    pos = expand_ranges(s_indptr[u_indices], counts)
+    edges = int(pos.size)
+    if edges == 0:
+        return _EMPTY_I, np.empty(0, dtype=out_dtype), edges
+    out_keys = s_indices[pos]
+    prods = map2(s_values[pos], np.repeat(u_values, counts))
+    keys, vals = coalesce(out_keys, np.asarray(prods), reduce_uf, logical)
+    return keys, vals.astype(out_dtype, copy=False), edges
+
+
+def spmv_pull(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    rows: np.ndarray,
+    x_dense: np.ndarray,
+    x_present: np.ndarray,
+    map2,
+    reduce_uf: np.ufunc,
+    out_dtype: np.dtype,
+    logical: bool = False,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Candidate-driven gather SpMV: like :func:`spmv_gather` but scanning
+    only the (sorted) candidate *rows* the write mask can accept.
+
+    Only valid under a mask — entries of ``t`` outside the write region
+    are never computed, which the masked finalize never reads.  Per-row
+    product order matches the full gather (ascending stored position),
+    so surviving entries are bit-identical.
+
+    Returns ``(indices, values, edges_examined)``.
+    """
+    counts = (indptr[rows + 1] - indptr[rows]).astype(np.int64)
+    pos = expand_ranges(indptr[rows], counts)
+    edges = int(pos.size)
+    if edges == 0:
+        return _EMPTY_I, np.empty(0, dtype=out_dtype), edges
+    k = indices[pos]
+    sel = x_present[k]
+    if not sel.any():
+        return _EMPTY_I, np.empty(0, dtype=out_dtype), edges
+    out_rows = np.repeat(rows, counts)[sel]
+    prods = map2(values[pos[sel]], x_dense[k[sel]])
+    starts = segment_starts(out_rows)
+    out_vals = segment_reduce(reduce_uf, np.asarray(prods), starts, logical)
+    return out_rows[starts], out_vals.astype(out_dtype, copy=False), edges
+
+
+def spmv_pull_logical(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    rows: np.ndarray,
+    x_dense: np.ndarray,
+    x_present: np.ndarray,
+    map2,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Early-exiting pull for the ``LogicalOr`` add monoid (Beamer's
+    bottom-up BFS step): a candidate row is finished at its first true
+    product, so dense frontiers cost ``O(candidates)`` row scans of a few
+    edges each instead of ``Σ degree(candidates)``.
+
+    Rows are scanned in geometrically growing blocks (4, 8, … 4096
+    edges), all still-active rows per pass in one vectorised step; a row
+    retires when it produces a true product or exhausts its neighbours.
+    The result is independent of the block schedule — an output entry
+    exists iff the row has **any** present neighbour (even an all-false
+    one, matching implied-zero semantics of the full reduction) and its
+    boolean value is the OR of the products — so this is bit-identical
+    to :func:`spmv_pull` with ``logical=True``.
+
+    ``edges_examined`` counts gathered block entries (deterministic,
+    block-granular — slightly above the per-edge count a sequential scan
+    would report).
+
+    Returns ``(indices, bool_values, edges_examined)``.
+    """
+    nact = rows.size
+    if nact == 0:
+        return _EMPTY_I, np.empty(0, dtype=bool), 0
+    cur = indptr[rows].astype(np.int64, copy=True)
+    end = indptr[rows + 1].astype(np.int64, copy=False)
+    seen = np.zeros(nact, dtype=bool)  # any present neighbour
+    hit = np.zeros(nact, dtype=bool)  # any true product
+    active = np.flatnonzero(cur < end)
+    edges = 0
+    block = 4
+    while active.size:
+        take = np.minimum(end[active] - cur[active], block)
+        pos = expand_ranges(cur[active], take)
+        edges += int(pos.size)
+        k = indices[pos]
+        pres = x_present[k]
+        prod_true = np.zeros(pos.size, dtype=bool)
+        if pres.any():
+            pv = map2(values[pos[pres]], x_dense[k[pres]])
+            prod_true[pres] = np.asarray(pv).astype(bool)
+        starts = np.empty(active.size, dtype=np.int64)
+        starts[0] = 0
+        np.cumsum(take[:-1], out=starts[1:])
+        seen[active] |= np.logical_or.reduceat(pres, starts)
+        hit[active] |= np.logical_or.reduceat(prod_true, starts)
+        cur[active] += take
+        active = active[~hit[active] & (cur[active] < end[active])]
+        block = min(block * 2, 4096)
+    return rows[seen], hit[seen], edges

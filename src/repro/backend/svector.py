@@ -25,12 +25,16 @@ class SparseVector:
     trivial (``w[None] += A @ w`` reads and writes the same vector).
     """
 
-    __slots__ = ("size", "indices", "values")
+    __slots__ = ("size", "indices", "values", "_repr_cache")
 
     def __init__(self, size: int, indices: np.ndarray, values: np.ndarray):
         self.size = int(size)
         self.indices = indices
         self.values = values
+        # lazily built dense representations (dense_lookup / bool_indices
+        # / true_bitmap results); safe to memoize because vectors are
+        # immutable by convention — see the class docstring
+        self._repr_cache = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -121,11 +125,25 @@ class SparseVector:
         return out
 
     def dense_lookup(self, fill=0) -> tuple[np.ndarray, np.ndarray]:
-        """``(values, present)`` dense arrays for O(1) gather by index."""
+        """``(values, present)`` dense arrays for O(1) gather by index.
+
+        The default (``fill=0``) pair is built once and memoized
+        (read-only) — the schedule layer's dense-frontier fast path, so
+        repeated dispatches against the same vector (engine fallback
+        retries, multi-op iterations) scatter at most once."""
+        zero_fill = isinstance(fill, (int, float, bool)) and fill == 0
+        if zero_fill:
+            cached = self._cached("dense")
+            if cached is not None:
+                return cached
         vals = np.full(self.size, fill, dtype=self.dtype)
         present = np.zeros(self.size, dtype=bool)
         vals[self.indices] = self.values
         present[self.indices] = True
+        if zero_fill:
+            vals.setflags(write=False)
+            present.setflags(write=False)
+            return self._memo("dense", (vals, present))
         return vals, present
 
     def get(self, i: int, default=None):
@@ -138,8 +156,37 @@ class SparseVector:
         return default
 
     def bool_indices(self) -> np.ndarray:
-        """Indices of entries whose value coerces to True (mask support)."""
-        return self.indices[self.values.astype(bool)]
+        """Indices of entries whose value coerces to True (mask support).
+
+        Memoized (read-only): masks are consulted by both the schedule
+        resolver and the write-back stage of the same dispatch."""
+        cached = self._cached("bool")
+        if cached is not None:
+            return cached
+        out = self.indices[self.values.astype(bool)]
+        out.setflags(write=False)
+        return self._memo("bool", out)
+
+    def true_bitmap(self) -> np.ndarray:
+        """Dense boolean bitmap of the true-valued entries — the schedule
+        layer's dense frontier representation (memoized, read-only)."""
+        cached = self._cached("bitmap")
+        if cached is not None:
+            return cached
+        bitmap = np.zeros(self.size, dtype=bool)
+        bitmap[self.bool_indices()] = True
+        bitmap.setflags(write=False)
+        return self._memo("bitmap", bitmap)
+
+    def _cached(self, key: str):
+        cache = self._repr_cache
+        return cache.get(key) if cache is not None else None
+
+    def _memo(self, key: str, value):
+        if self._repr_cache is None:
+            self._repr_cache = {}
+        self._repr_cache[key] = value
+        return value
 
     def astype(self, dtype) -> "SparseVector":
         dt = normalize_dtype(dtype)

@@ -40,11 +40,11 @@ class InterpretedEngine:
     def mxm(self, out, a, b, add, mult, desc, ta=False, tb=False):
         return K.mxm(out, a, b, add, mult, desc, ta, tb)
 
-    def mxv(self, out, a, u, add, mult, desc, ta=False):
-        return K.mxv(out, a, u, add, mult, desc, ta)
+    def mxv(self, out, a, u, add, mult, desc, ta=False, sched=None):
+        return K.mxv(out, a, u, add, mult, desc, ta, sched)
 
-    def vxm(self, out, u, a, add, mult, desc, ta=False):
-        return K.vxm(out, u, a, add, mult, desc, ta)
+    def vxm(self, out, u, a, add, mult, desc, ta=False, sched=None):
+        return K.vxm(out, u, a, add, mult, desc, ta, sched)
 
     # -- elementwise ---------------------------------------------------
     def ewise_add_mat(self, out, a, b, op, desc, ta=False, tb=False):

@@ -23,9 +23,11 @@ the comparison to.
 from __future__ import annotations
 
 import numbers
+import time
 
 import numpy as np
 
+from .. import schedule as _schedule
 from ..backend.kernels import OpDesc
 from ..backend.ops_table import binary_result_dtype
 from ..exceptions import InvalidValue
@@ -100,6 +102,18 @@ def _is_vec(operand) -> bool:
     if isinstance(operand, Expression):
         return not operand.produces_matrix
     return bool(getattr(operand, "is_vector", False))
+
+
+def _dispatch_scheduled(method, sched, *args):
+    """Invoke an engine traversal method under a resolved schedule,
+    feeding the wall-clock latency back to the autotuner when this
+    dispatch is one it is sampling (``sched.wants_timing``)."""
+    if sched.wants_timing:
+        t0 = time.perf_counter_ns()
+        result = method(*args, sched=sched)
+        sched.note_latency(time.perf_counter_ns() - t0)
+        return result
+    return method(*args, sched=sched)
 
 
 class Expression:
@@ -323,6 +337,7 @@ class MXV(Expression):
         self.a, self.ta = _unwrap(a)
         self.u = u
         self.add_op, self.mult_op = operators.resolve_semiring(semiring)
+        self.schedule = _schedule.Schedule.capture()
 
     def result_shape(self):
         shape = _shape_of(self.a)
@@ -333,8 +348,13 @@ class MXV(Expression):
         return binary_result_dtype(self.add_op, t, t)
 
     def eval_into(self, out, desc):
-        out._store = current_backend_engine().mxv(
-            out._store, _store_of(self.a), _store_of(self.u),
+        a_store, u_store = _store_of(self.a), _store_of(self.u)
+        sched = self.schedule.resolve(
+            "mxv", a_store, u_store, desc, self.ta, self.add_op
+        )
+        out._store = _dispatch_scheduled(
+            current_backend_engine().mxv, sched,
+            out._store, a_store, u_store,
             self.add_op, self.mult_op, desc, self.ta,
         )
 
@@ -352,6 +372,7 @@ class VXM(Expression):
         self.u = u
         self.a, self.ta = _unwrap(a)
         self.add_op, self.mult_op = operators.resolve_semiring(semiring)
+        self.schedule = _schedule.Schedule.capture()
 
     def result_shape(self):
         shape = _shape_of(self.a)
@@ -362,8 +383,13 @@ class VXM(Expression):
         return binary_result_dtype(self.add_op, t, t)
 
     def eval_into(self, out, desc):
-        out._store = current_backend_engine().vxm(
-            out._store, _store_of(self.u), _store_of(self.a),
+        u_store, a_store = _store_of(self.u), _store_of(self.a)
+        sched = self.schedule.resolve(
+            "vxm", a_store, u_store, desc, self.ta, self.add_op
+        )
+        out._store = _dispatch_scheduled(
+            current_backend_engine().vxm, sched,
+            out._store, u_store, a_store,
             self.add_op, self.mult_op, desc, self.ta,
         )
 

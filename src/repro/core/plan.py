@@ -46,13 +46,18 @@ class OpNode:
     ...); ``children`` holds ``(slot, OpNode)`` pairs for the deferred
     operands; ``parents`` holds ``(parent_expr, slot)`` pairs — one per
     consumer edge, so ``len(parents)`` is the node's consumer count.
+    ``schedule`` carries the traversal-shaped expressions'
+    :class:`repro.schedule.Schedule` annotation (``None`` for every
+    other kind) so planner passes can see — and refuse to fuse across —
+    a direction-optimized dispatch.
     """
 
-    __slots__ = ("expr", "kind", "children", "parents")
+    __slots__ = ("expr", "kind", "children", "parents", "schedule")
 
     def __init__(self, expr):
         self.expr = expr
         self.kind = expr.plan_kind
+        self.schedule = getattr(expr, "schedule", None)
         self.children: list = []
         self.parents: list = []
 

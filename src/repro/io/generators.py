@@ -20,6 +20,8 @@ __all__ = [
     "ring_graph",
     "grid_graph",
     "scale_free",
+    "rmat_coo",
+    "rmat",
 ]
 
 
@@ -109,6 +111,65 @@ def grid_graph(side: int, weighted: bool = False, seed: int = 0, dtype=None):
         )
     else:
         vals = np.ones(rows.size, dtype=np.int64)
+    return Matrix((vals, (rows, cols)), shape=(n, n), dtype=dtype)
+
+
+def rmat_coo(
+    scale: int,
+    edge_factor: int = 16,
+    seed: int = 0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    weighted: bool = False,
+):
+    """Graph500-style R-MAT power-law COO edge list.
+
+    ``2**scale`` vertices and ``edge_factor * 2**scale`` drawn directed
+    edges; each edge picks one adjacency-matrix quadrant per bit level
+    with probabilities ``(a, b, c, 1-a-b-c)`` — the Graph500 defaults
+    give the skewed degree distribution (a few massive hubs, a long tail
+    of low-degree vertices) that makes direction-optimizing traversal
+    pay off.  Self-loops and duplicate edges are removed after
+    generation, so the realized edge count is somewhat lower than drawn.
+    Fully vectorised (one uniform draw per edge per bit) and
+    deterministic under a given seed.
+    """
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        # quadrants in draw order: [0,a) → (0,0), [a,a+b) → (0,1),
+        # [a+b,a+b+c) → (1,0), rest → (1,1)
+        row_bit = r >= a + b
+        col_bit = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        rows |= row_bit.astype(np.int64) << level
+        cols |= col_bit.astype(np.int64) << level
+    keep = rows != cols
+    flat = np.unique(rows[keep] * np.int64(n) + cols[keep])
+    rows, cols = flat // n, flat % n
+    if weighted:
+        vals = rng.uniform(1.0, 10.0, size=rows.size)
+    else:
+        vals = np.ones(rows.size, dtype=np.int64)
+    return rows, cols, vals
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    seed: int = 0,
+    weighted: bool = False,
+    dtype=None,
+):
+    """R-MAT power-law graph as a DSL Matrix (``2**scale`` vertices)."""
+    from ..core.matrix import Matrix
+
+    n = 1 << scale
+    rows, cols, vals = rmat_coo(scale, edge_factor, seed, weighted=weighted)
     return Matrix((vals, (rows, cols)), shape=(n, n), dtype=dtype)
 
 

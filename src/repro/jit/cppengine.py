@@ -31,7 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
-from .. import obs
+from .. import obs, schedule as _schedule
 from ..backend.ops_table import (
     DEFAULT_IDENTITY_NAME,
     binary_result_dtype,
@@ -432,6 +432,11 @@ class CppJitEngine:
             lib.pygb_kernel_ns.restype = c_int64
         except AttributeError:  # pragma: no cover
             pass
+        try:
+            # deterministic traversal counter; pull TUs only (v8+)
+            lib.pygb_edges_examined.restype = c_int64
+        except AttributeError:
+            pass
         with self._libs_lock:
             return self._libs.setdefault(str(artifact), lib)
 
@@ -527,9 +532,31 @@ class CppJitEngine:
     # ------------------------------------------------------------------
     # engine interface
     # ------------------------------------------------------------------
-    def mxv(self, out, a, u, add, mult, desc, ta=False):
-        if ta:
+    @staticmethod
+    def _frontier_edges(s: SparseMatrix, u: SparseVector) -> int:
+        """Σ degree(frontier) over the scatter matrix's row pointers —
+        exactly the edges the GB::vxm scatter kernel walks."""
+        if u.nvals == 0:
+            return 0
+        rows = np.asarray(u.indices, _I64)
+        indptr = np.asarray(s.indptr)
+        return int((indptr[rows + 1] - indptr[rows]).sum())
+
+    @staticmethod
+    def _note_pull_edges(lib) -> None:
+        fn = getattr(lib, "pygb_edges_examined", None)
+        _schedule.note_edges("pull", int(fn()) if fn is not None else 0)
+
+    def mxv(self, out, a, u, add, mult, desc, ta=False, sched=None):
+        direction = sched.direction if sched is not None else "dense"
+        # orientation resolves here, as for plain transposes: dense/pull
+        # TUs compile against the gather matrix, push TUs against its
+        # transpose (the scatter form GB::vxm walks)
+        if direction == "push":
+            a = a if ta else a.transposed()
+        elif ta:
             a = a.transposed()
+        extra = {"dir": direction} if direction != "dense" else {}
         spec = self._spec(
             "mxv",
             a=KernelSpec.dt(a.dtype),
@@ -538,6 +565,7 @@ class CppJitEngine:
             t_dtype=KernelSpec.dt(binary_result_dtype(mult, a.dtype, u.dtype)),
             add=add,
             mult=mult,
+            **extra,
             **_desc_params(desc),
         )
         lib = self._lib(spec)
@@ -546,11 +574,28 @@ class CppJitEngine:
         p.vec(u)
         p.vec(out)
         p.mask_vec(desc.mask)
-        return self._run_vec_out(lib, p, out.size, out.dtype)
+        if direction == "pull":
+            p.index_list(sched.candidates)
+        result = self._run_vec_out(lib, p, out.size, out.dtype)
+        if sched is not None:
+            if direction == "pull":
+                self._note_pull_edges(lib)
+            elif direction == "push":
+                _schedule.note_edges("push", self._frontier_edges(a, u))
+            else:
+                _schedule.note_edges("dense", int(a.indices.size))
+        return result
 
-    def vxm(self, out, u, a, add, mult, desc, ta=False):
-        if ta:
+    def vxm(self, out, u, a, add, mult, desc, ta=False, sched=None):
+        direction = sched.direction if sched is not None else "dense"
+        # GB::vxm is natively a scatter kernel, so dense and push share
+        # the effective matrix (and the legacy spec/artifact); pull
+        # gathers over its transpose with the mask's candidate rows
+        if direction == "pull":
+            a = a if ta else a.transposed()
+        elif ta:
             a = a.transposed()
+        extra = {"dir": "pull"} if direction == "pull" else {}
         spec = self._spec(
             "vxm",
             a=KernelSpec.dt(a.dtype),
@@ -559,6 +604,7 @@ class CppJitEngine:
             t_dtype=KernelSpec.dt(binary_result_dtype(mult, u.dtype, a.dtype)),
             add=add,
             mult=mult,
+            **extra,
             **_desc_params(desc),
         )
         lib = self._lib(spec)
@@ -567,7 +613,17 @@ class CppJitEngine:
         p.vec(u)
         p.vec(out)
         p.mask_vec(desc.mask)
-        return self._run_vec_out(lib, p, out.size, out.dtype)
+        if direction == "pull":
+            p.index_list(sched.candidates)
+        result = self._run_vec_out(lib, p, out.size, out.dtype)
+        if sched is not None:
+            if direction == "pull":
+                self._note_pull_edges(lib)
+            else:
+                # the scatter kernel's scan is a frontier degree sum even
+                # for the "dense" (legacy) schedule — count honestly
+                _schedule.note_edges(direction, self._frontier_edges(a, u))
+        return result
 
     def mxm(self, out, a, b, add, mult, desc, ta=False, tb=False):
         if ta:

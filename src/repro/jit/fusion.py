@@ -112,6 +112,7 @@ def fuse_expression(root, engine):
     for node in plan.order:
         for slot, cnode in node.children:
             cand = PAIRS.get((node.kind, cnode.kind))
+            sched = cnode.schedule
             if (
                 cand is None
                 or slot != cand.slot
@@ -120,6 +121,9 @@ def fuse_expression(root, engine):
                 or id(cnode.expr) in consumed
                 or id(node.expr) in consumed
                 or not hasattr(engine, cand.name)
+                # fused kernels run the dense traversal only — a node
+                # pinned to push/pull must stay a standalone dispatch
+                or (sched is not None and sched.pins_direction)
             ):
                 continue
             fused = Fused(cand, cnode.expr, node.expr)

@@ -71,6 +71,15 @@ struct KernelTimer {
     }
 };
 
+// edges examined by the most recent direction-optimized traversal kernel
+// on this thread; push/pull binding TUs expose it through
+// pygb_edges_examined() so the engine can feed the schedule-layer
+// counters (the perf-trajectory metric behind the push/pull switch).
+inline int64_t& edges_examined_ref() {
+    thread_local int64_t edges = 0;
+    return edges;
+}
+
 // ---------------------------------------------------------------------
 // threading runtime.  Serial artifacts are compiled from this same file
 // without -fopenmp: the pragmas vanish and num_threads() pins to 1, so
@@ -306,6 +315,87 @@ Vec<TT> vxm(const Vec<TU>& u, const CSR<TA>& A, AddOp add, MultOp mult) {
     Vec<TT> out; out.size = A.ncols;
     for (Index j = 0; j < A.ncols; ++j)
         if (has[j]) { out.idx.push_back(j); out.val.push_back(acc[j]); }
+    return out;
+}
+
+// w<cand> = A ⊕.⊗ u over candidate rows only — the pull (gather)
+// direction of a direction-optimized traversal.  Candidate rows are the
+// positions the write mask can accept, so entries the masked finalize
+// would discard are never computed.  Each row folds its present
+// neighbours in stored (ascending-column) order, exactly as mxv()'s row
+// sweep, so surviving entries are bit-identical to the dense form.
+template <class TT, class TA, class TU, class AddOp, class MultOp>
+Vec<TT> mxv_pull(const CSR<TA>& A, const Vec<TU>& u,
+                 const Index* cand, Index n_cand, AddOp add, MultOp mult) {
+    std::vector<TT> ud(A.ncols);
+    std::vector<uint8_t> up(A.ncols, 0);
+    for (size_t k = 0; k < u.idx.size(); ++k) {
+        ud[u.idx[k]] = static_cast<TT>(u.val[k]);
+        up[u.idx[k]] = 1;
+    }
+    Vec<TT> out; out.size = A.nrows;
+    int64_t edges = 0;
+    for (Index c = 0; c < n_cand; ++c) {
+        const Index i = cand[c];
+        edges += A.indptr[i + 1] - A.indptr[i];
+        TT acc{}; bool any = false;
+        for (Index p = A.indptr[i]; p < A.indptr[i + 1]; ++p) {
+            const Index j = A.indices[p];
+            if (!up[j]) continue;
+            const TT prod = mult(static_cast<TT>(A.values[p]), ud[j]);
+            acc = any ? add(acc, prod) : prod;
+            any = true;
+        }
+        if (any) { out.idx.push_back(i); out.val.push_back(acc); }
+    }
+    edges_examined_ref() = edges;
+    return out;
+}
+
+// Early-exiting pull for the LogicalOr add monoid (Beamer's bottom-up
+// BFS step): a candidate row is finished at its first true product.  An
+// output entry exists iff the row has any present neighbour (even an
+// all-false one — implied-zero semantics of the full reduction) and its
+// value is the OR of the products, so the result is independent of where
+// the scan stops.  Neighbours are counted in the same geometrically
+// growing blocks (4, 8, ... 4096) as the vectorised Python primitive
+// spmv_pull_logical, and a row that retires mid-block still counts the
+// whole block — the deterministic edges-examined figure is therefore
+// identical across all three engines.
+template <class TT, class TA, class TU, class MultOp>
+Vec<TT> mxv_pull_or(const CSR<TA>& A, const Vec<TU>& u,
+                    const Index* cand, Index n_cand, MultOp mult) {
+    std::vector<TT> ud(A.ncols);
+    std::vector<uint8_t> up(A.ncols, 0);
+    for (size_t k = 0; k < u.idx.size(); ++k) {
+        ud[u.idx[k]] = static_cast<TT>(u.val[k]);
+        up[u.idx[k]] = 1;
+    }
+    Vec<TT> out; out.size = A.nrows;
+    int64_t edges = 0;
+    for (Index c = 0; c < n_cand; ++c) {
+        const Index i = cand[c];
+        Index cur = A.indptr[i];
+        const Index end = A.indptr[i + 1];
+        bool seen = false, hit = false;
+        Index block = 4;
+        while (cur < end && !hit) {
+            Index take = end - cur;
+            if (take > block) take = block;
+            edges += take;
+            for (Index p = cur; p < cur + take; ++p) {
+                const Index j = A.indices[p];
+                if (!up[j]) continue;
+                seen = true;
+                if (bool(mult(static_cast<TT>(A.values[p]), ud[j]))) hit = true;
+            }
+            cur += take;
+            block = block * 2 > 4096 ? 4096 : block * 2;
+        }
+        if (seen) { out.idx.push_back(i); out.val.push_back(static_cast<TT>(hit)); }
+    }
+    edges_examined_ref() = edges;
+    return out;
     return out;
 }
 

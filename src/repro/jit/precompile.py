@@ -57,12 +57,28 @@ _ALGORITHM_KERNELS: tuple[tuple[str, dict], ...] = (
     ("mxv", dict(a="float64", accum="Min", add="Min", c="float64", comp=0,
                  mask="none", mult="Plus", repl=0, t_dtype="float64",
                  u="float64")),
+    ("mxv", dict(a="float64", accum="Min", add="Min", c="float64", comp=0,
+                 dir="push", mask="none", mult="Plus", repl=0,
+                 t_dtype="float64", u="float64")),
     ("mxv", dict(a="int64", accum="Min", add="Min", c="int64", comp=0,
                  mask="none", mult="Second", repl=0, t_dtype="int64",
                  u="int64")),
+    ("mxv", dict(a="int64", accum="Min", add="Min", c="int64", comp=0,
+                 dir="push", mask="none", mult="Second", repl=0,
+                 t_dtype="int64", u="int64")),
     ("mxv", dict(a="int64", accum="none", add="LogicalOr", c="bool", comp=1,
                  mask="value", mult="LogicalAnd", repl=1, t_dtype="bool",
                  u="bool")),
+    # the auto schedule's direction-optimized variants of the BFS step
+    # (push on sparse frontiers, pull with the LogicalOr early exit on
+    # dense ones) and of the unmasked SSSP / connected-components
+    # relaxations (push)
+    ("mxv", dict(a="int64", accum="none", add="LogicalOr", c="bool", comp=1,
+                 dir="push", mask="value", mult="LogicalAnd", repl=1,
+                 t_dtype="bool", u="bool")),
+    ("mxv", dict(a="int64", accum="none", add="LogicalOr", c="bool", comp=1,
+                 dir="pull", mask="value", mult="LogicalAnd", repl=1,
+                 t_dtype="bool", u="bool")),
     ("reduce_mat_scalar", dict(a="int64", op="Plus")),
     ("reduce_vec_scalar", dict(a="float64", op="Plus")),
     ("vxm", dict(a="float64", accum="Second", add="Plus", c="float64",

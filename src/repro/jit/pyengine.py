@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from .. import obs
+from .. import obs, schedule as _schedule
 from ..backend.kernels import OpDesc
 from ..backend.ops_table import binary_result_dtype
 from ..exceptions import CompilationError
@@ -129,7 +129,13 @@ class PyJitEngine:
         )
         return self._module(spec).run(out, a, b, desc.mask)
 
-    def mxv(self, out, a, u, add, mult, desc, ta=False):
+    def _spmv_params(self, direction: str) -> dict:
+        # dense keeps the legacy spec keys so scheduled and unscheduled
+        # dispatches share one cache entry per variant
+        return {} if direction == "dense" else {"dir": direction}
+
+    def mxv(self, out, a, u, add, mult, desc, ta=False, sched=None):
+        direction = sched.direction if sched is not None else "dense"
         spec = KernelSpec.make(
             "mxv",
             a=KernelSpec.dt(a.dtype),
@@ -139,11 +145,18 @@ class PyJitEngine:
             add=add,
             mult=mult,
             ta=ta,
+            **self._spmv_params(direction),
             **_desc_params(desc),
         )
-        return self._module(spec).run(out, a, u, desc.mask)
+        if direction == "pull":
+            return self._module(spec).run(out, a, u, desc.mask, sched.candidates)
+        result = self._module(spec).run(out, a, u, desc.mask)
+        if sched is not None and direction == "dense":
+            _schedule.note_edges("dense", int(a.indices.size))
+        return result
 
-    def vxm(self, out, u, a, add, mult, desc, ta=False):
+    def vxm(self, out, u, a, add, mult, desc, ta=False, sched=None):
+        direction = sched.direction if sched is not None else "dense"
         spec = KernelSpec.make(
             "vxm",
             a=KernelSpec.dt(a.dtype),
@@ -153,9 +166,15 @@ class PyJitEngine:
             add=add,
             mult=mult,
             ta=ta,
+            **self._spmv_params(direction),
             **_desc_params(desc),
         )
-        return self._module(spec).run(out, u, a, desc.mask)
+        if direction == "pull":
+            return self._module(spec).run(out, u, a, desc.mask, sched.candidates)
+        result = self._module(spec).run(out, u, a, desc.mask)
+        if sched is not None and direction == "dense":
+            _schedule.note_edges("dense", int(a.indices.size))
+        return result
 
     # ------------------------------------------------------------------
     # elementwise

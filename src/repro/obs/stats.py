@@ -56,6 +56,7 @@ class StatsAggregator:
         self.ops: dict[str, dict] = {}
         self.cache_events: dict[str, int] = {}
         self.ffi: dict = {"calls": 0, "total_ns": 0, "kernel_ns": 0}
+        self.schedule: dict = {"directions": {}, "chosen_by": {}, "switches": 0}
 
     def note_span(self, name: str, cat: str, dur_ns: int, attrs: dict) -> None:
         bucket = min(max(int(dur_ns), 0).bit_length(), HIST_BUCKETS - 1)
@@ -71,6 +72,13 @@ class StatsAggregator:
                     entry["fused"] += 1
                 engine = attrs.get("engine", "?")
                 entry["engines"][engine] = entry["engines"].get(engine, 0) + 1
+                direction = attrs.get("direction")
+                if direction is not None:
+                    dirs = self.schedule["directions"]
+                    dirs[direction] = dirs.get(direction, 0) + 1
+                    chosen = attrs.get("chosen_by") or "?"
+                    by = self.schedule["chosen_by"]
+                    by[chosen] = by.get(chosen, 0) + 1
             elif cat == "ffi":
                 self.ffi["calls"] += 1
                 self.ffi["total_ns"] += int(dur_ns)
@@ -82,6 +90,10 @@ class StatsAggregator:
         if cat == "cache":
             with self._lock:
                 self.cache_events[name] = self.cache_events.get(name, 0) + 1
+        elif cat == "schedule":
+            if name == "schedule.switch":
+                with self._lock:
+                    self.schedule["switches"] += 1
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -99,6 +111,11 @@ class StatsAggregator:
                 },
                 "cache_events": dict(self.cache_events),
                 "ffi": dict(self.ffi),
+                "schedule": {
+                    "directions": dict(self.schedule["directions"]),
+                    "chosen_by": dict(self.schedule["chosen_by"]),
+                    "switches": self.schedule["switches"],
+                },
             }
 
 
@@ -174,6 +191,19 @@ def merge_stats(base: dict, extra: dict) -> dict:
         out["cache_events"][name] = out["cache_events"].get(name, 0) + n
     for key, n in extra.get("ffi", {}).items():
         out["ffi"][key] = out["ffi"].get(key, 0) + n
+    base_sched = base.get("schedule", {})
+    extra_sched = extra.get("schedule", {})
+    sched = {
+        "directions": dict(base_sched.get("directions", {})),
+        "chosen_by": dict(base_sched.get("chosen_by", {})),
+        "switches": base_sched.get("switches", 0),
+    }
+    for key, n in extra_sched.get("directions", {}).items():
+        sched["directions"][key] = sched["directions"].get(key, 0) + n
+    for key, n in extra_sched.get("chosen_by", {}).items():
+        sched["chosen_by"][key] = sched["chosen_by"].get(key, 0) + n
+    sched["switches"] += extra_sched.get("switches", 0)
+    out["schedule"] = sched
     return out
 
 
@@ -233,6 +263,21 @@ def render_stats(data: dict, cache_stats: dict | None = None) -> str:
             for eng, n in sorted(engine_totals.items(), key=lambda kv: -kv[1])
         )
         lines.append(f"engine split: {split}")
+    sched = data.get("schedule", {})
+    if sched.get("directions"):
+        dirs = ", ".join(
+            f"{d}: {n}" for d, n in sorted(sched["directions"].items(),
+                                           key=lambda kv: -kv[1])
+        )
+        by = ", ".join(
+            f"{k}: {n}" for k, n in sorted(sched.get("chosen_by", {}).items(),
+                                           key=lambda kv: -kv[1])
+        )
+        lines.append(
+            f"traversal schedule: {dirs}; "
+            f"{sched.get('switches', 0)} direction switches"
+            + (f"; chosen by {by}" if by else "")
+        )
     ffi = data.get("ffi", {})
     if ffi.get("calls"):
         total = ffi["total_ns"]

@@ -212,18 +212,20 @@ class TracingEngine:
             finally:
                 dur = time.perf_counter_ns() - t0
                 nvals, nbytes = _payload(args)
-                tracer.record(
-                    attr,
-                    "op",
-                    t0,
-                    dur,
-                    {
-                        "engine": engine_name,
-                        "fused": fused,
-                        "nvals": nvals,
-                        "bytes": nbytes,
-                    },
-                )
+                attrs = {
+                    "engine": engine_name,
+                    "fused": fused,
+                    "nvals": nvals,
+                    "bytes": nbytes,
+                }
+                sched = kwargs.get("sched")
+                if sched is not None:
+                    # schedule-layer annotation (PR 6): which traversal
+                    # direction ran and what picked it
+                    attrs["direction"] = sched.direction
+                    attrs["frontier"] = sched.frontier
+                    attrs["chosen_by"] = sched.chosen_by
+                tracer.record(attr, "op", t0, dur, attrs)
 
         traced.__name__ = attr
         self.__dict__[attr] = traced

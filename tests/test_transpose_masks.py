@@ -1,0 +1,192 @@
+"""Regression grid: transposed traversals under every mask form.
+
+The schedule layer resolves the *effective* matrix orientation per
+direction (push wants the scatter form, dense/pull the gather form, and
+``A.T`` flips which is which), so ``ta × mask × complement × replace ×
+accumulate`` is exactly the surface where an orientation slip would
+corrupt results.  This file pins it two ways:
+
+* against an **independent pure-Python reference** (exact int64
+  arithmetic, so fold order cannot blur a wrong answer) for the
+  empty-output no-accumulator grid, on every engine and schedule mode;
+* **differentially** against the interpreted engine's dense strategy for
+  the stateful forms (pre-filled output, ``Replace``, accumulators),
+  which exercise the write-back path after a scheduled traversal.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+import pytest
+
+import repro as gb
+from repro import schedule as S
+from repro.core.context import use_engine
+
+from helpers import mat_from_dict, random_mat_dict, random_vec_dict, vec_from_dict
+
+N = 20
+MODES = ("fixed", "push", "pull", "auto")
+SEMIRINGS = {"Plus/Times": ("Plus", "Times"), "Min/Plus": ("Min", "Plus")}
+
+_ADD = {"Plus": lambda x, y: x + y, "Min": min}
+_MULT = {"Times": lambda x, y: x * y, "Plus": lambda x, y: x + y}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_schedule_state():
+    S.reset_stats()
+    yield
+    S.reset_stats()
+
+
+# ----------------------------------------------------------------------
+# pure-Python reference (exact integer semantics)
+# ----------------------------------------------------------------------
+
+
+def _ref_spmv(md, ud, *, vxm, ta, add, mult):
+    """Sparse ``t = A(.T) @ u`` / ``u @ A(.T)`` as a plain dict: a
+    product exists only where both operands store entries; an output
+    entry exists only where at least one product does."""
+    add_f, mult_f = _ADD[add], _MULT[mult]
+    out: dict = {}
+    for (i, j), v in md.items():
+        if ta:
+            i, j = j, i
+        if vxm:
+            # t[j] (+)= u[i] * A[i, j]
+            if i in ud:
+                p = mult_f(ud[i], v)
+                out[j] = add_f(out[j], p) if j in out else p
+        else:
+            # t[i] (+)= A[i, j] * u[j]
+            if j in ud:
+                p = mult_f(v, ud[j])
+                out[i] = add_f(out[i], p) if i in out else p
+    return out
+
+
+def _apply_mask(t, mask_d, size, maskkind):
+    if maskkind == "none":
+        return dict(t)
+    true = {i for i, v in mask_d.items() if v}
+    accepted = true if maskkind == "mask" else set(range(size)) - true
+    return {i: v for i, v in t.items() if i in accepted}
+
+
+# ----------------------------------------------------------------------
+# shared data + DSL runner
+# ----------------------------------------------------------------------
+
+
+def _data(seed=3):
+    rng = np.random.default_rng(seed)
+    md = random_mat_dict(rng, N, N, density=0.3, dtype=np.int64)
+    ud = random_vec_dict(rng, N, density=0.5, dtype=np.int64)
+    wd = random_vec_dict(rng, N, density=0.4, dtype=np.int64)
+    mask_d = random_vec_dict(rng, N, density=0.6, dtype=bool)
+    return md, ud, wd, mask_d
+
+
+def _run(md, ud, mask_d, *, vxm, ta, maskkind, sr, mode="auto",
+         out_d=None, replace=False, accum=None):
+    a = mat_from_dict(md, N, N, np.int64)
+    u = vec_from_dict(ud, N, np.int64)
+    mask = vec_from_dict(mask_d, N, dtype=bool)
+    out = (
+        vec_from_dict(out_d, N, np.int64)
+        if out_d is not None
+        else gb.Vector(shape=(N,), dtype=np.int64)
+    )
+    mat = a.T if ta else a
+    add, mult = SEMIRINGS[sr]
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(S.Scheduled(mode))
+        stack.enter_context(gb.Semiring(gb.Monoid(add), mult))
+        if replace:
+            stack.enter_context(gb.Replace)
+        if accum:
+            stack.enter_context(gb.Accumulator(accum))
+        expr = (u @ mat) if vxm else (mat @ u)
+        key = {"none": None, "comp": ~mask, "mask": mask}[maskkind]
+        if accum:
+            if key is None:
+                out[None] += expr
+            else:
+                out[key] += expr
+        elif key is None:
+            out[None] = expr
+        else:
+            out[key] = expr
+    return out._store.to_dict()
+
+
+# ----------------------------------------------------------------------
+# reference grid: empty output, no accumulator — every engine and mode
+# ----------------------------------------------------------------------
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("sr", sorted(SEMIRINGS))
+    @pytest.mark.parametrize("vxm", [False, True], ids=["mxv", "vxm"])
+    @pytest.mark.parametrize("ta", [False, True], ids=["a", "aT"])
+    @pytest.mark.parametrize("maskkind", ["none", "mask", "comp"])
+    def test_dense_matches_reference(self, engine, sr, vxm, ta, maskkind):
+        md, ud, _, mask_d = _data()
+        add, mult = SEMIRINGS[sr]
+        expected = _apply_mask(
+            _ref_spmv(md, ud, vxm=vxm, ta=ta, add=add, mult=mult),
+            mask_d, N, maskkind,
+        )
+        got = _run(md, ud, mask_d, vxm=vxm, ta=ta, maskkind=maskkind,
+                   sr=sr, mode="fixed")
+        assert got == expected
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("vxm", [False, True], ids=["mxv", "vxm"])
+    @pytest.mark.parametrize("ta", [False, True], ids=["a", "aT"])
+    @pytest.mark.parametrize("maskkind", ["mask", "comp"])
+    def test_every_mode_matches_reference(self, engine, mode, vxm, ta, maskkind):
+        md, ud, _, mask_d = _data()
+        expected = _apply_mask(
+            _ref_spmv(md, ud, vxm=vxm, ta=ta, add="Plus", mult="Times"),
+            mask_d, N, maskkind,
+        )
+        got = _run(md, ud, mask_d, vxm=vxm, ta=ta, maskkind=maskkind,
+                   sr="Plus/Times", mode=mode)
+        assert got == expected
+
+
+# ----------------------------------------------------------------------
+# differential grid: stateful write-back forms vs interpreted dense
+# ----------------------------------------------------------------------
+
+
+class TestStatefulWriteback:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("ta", [False, True], ids=["a", "aT"])
+    @pytest.mark.parametrize("maskkind", ["mask", "comp"])
+    @pytest.mark.parametrize("replace", [False, True], ids=["merge", "replace"])
+    def test_prefilled_output(self, engine, mode, ta, maskkind, replace):
+        md, ud, wd, mask_d = _data(seed=9)
+        kw = dict(vxm=False, ta=ta, maskkind=maskkind, sr="Plus/Times",
+                  out_d=wd, replace=replace)
+        with use_engine("interpreted"):
+            expected = _run(md, ud, mask_d, mode="fixed", **kw)
+        got = _run(md, ud, mask_d, mode=mode, **kw)
+        assert got == expected
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("ta", [False, True], ids=["a", "aT"])
+    @pytest.mark.parametrize("maskkind", ["none", "mask", "comp"])
+    def test_accumulated(self, engine, mode, ta, maskkind):
+        md, ud, wd, mask_d = _data(seed=13)
+        kw = dict(vxm=True, ta=ta, maskkind=maskkind, sr="Min/Plus",
+                  out_d=wd, accum="Min")
+        with use_engine("interpreted"):
+            expected = _run(md, ud, mask_d, mode="fixed", **kw)
+        got = _run(md, ud, mask_d, mode=mode, **kw)
+        assert got == expected
