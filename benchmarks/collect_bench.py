@@ -35,6 +35,7 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 os.environ.setdefault("PYGB_CACHE_DIR", str(REPO_ROOT / ".pygb_cache"))
 
 import repro as gb  # noqa: E402
+from repro import tiling  # noqa: E402
 from repro.algorithms import pagerank  # noqa: E402
 from repro.core.dispatch import CountingEngine, make_engine  # noqa: E402
 from repro.core.nonblocking import reset_stats, stats  # noqa: E402
@@ -177,6 +178,67 @@ def _schedule_metrics() -> dict:
     }
 
 
+def _tiled_metrics() -> dict:
+    """Deterministic partition counters for the tiled data plane.
+
+    Tile and worker counts are forced through ``gb.tiled`` (not read
+    from the machine) and the schedule autotuner is pinned off (a
+    timing-driven push/pull choice would flip dispatches between the
+    partitioned and forwarded buckets), so partitioned-dispatch, merge,
+    and tile-task counts depend only on the program — they gate hard.
+    Two invariants are asserted rather than tracked: the tiled PageRank
+    is bit-identical to the monolithic run, and ``tiles=1`` is a clean
+    ablation that never creates a tile or fans out a dispatch.
+    """
+    import numpy as np
+
+    g = erdos_renyi(PAGERANK_N, seed=7, weighted=True, dtype=float)
+
+    def run():
+        pr = gb.Vector(shape=(PAGERANK_N,), dtype=float)
+        pagerank(g, pr, threshold=1.0e-8)
+        return pr.to_numpy()
+
+    old = os.environ.get("PYGB_SCHEDULE_TUNER")
+    os.environ["PYGB_SCHEDULE_TUNER"] = "0"
+    try:
+        with gb.tiled(tiles=1):
+            mono = run()
+
+        tiling.reset_stats()
+        with gb.tiled(tiles=4, workers=2):
+            tiled_result = run()
+        counters = tiling.stats()
+    finally:
+        if old is None:
+            os.environ.pop("PYGB_SCHEDULE_TUNER", None)
+        else:
+            os.environ["PYGB_SCHEDULE_TUNER"] = old
+    assert np.array_equal(mono, tiled_result), (
+        "tiled PageRank diverged from the monolithic run"
+    )
+
+    tiling.reset_stats()
+    with gb.tiled(tiles=1):
+        ablation = run()
+    ablation_counters = tiling.stats()
+    assert np.array_equal(mono, ablation), "tiles=1 ablation diverged"
+    assert ablation_counters["tiles_created"] == 0, (
+        "tiles=1 ablation created tiles"
+    )
+    assert ablation_counters["partitioned_total"] == 0, (
+        "tiles=1 ablation partitioned a dispatch"
+    )
+
+    return {
+        "tiled.pagerank.tiles_created": counters["tiles_created"],
+        "tiled.pagerank.partitioned_dispatches": counters["partitioned_total"],
+        "tiled.pagerank.forwarded_dispatches": counters["forwarded_total"],
+        "tiled.pagerank.tile_tasks": counters["tile_tasks"],
+        "tiled.pagerank.merges": counters["merges_total"],
+    }
+
+
 def _timing_sections() -> dict:
     timings = {}
     for name in ("fusion", "overhead"):
@@ -194,9 +256,13 @@ def main(argv=None) -> int:
 
     sha = args.sha or _git_sha()
     metrics = {}
-    metrics.update(_pagerank_metrics())
-    metrics.update(_chain_metrics())
-    metrics.update(_schedule_metrics())
+    # the legacy counts run under the tiles=1 ablation so they stay
+    # exactly the pre-tiling dispatch stream on any machine/config
+    with gb.tiled(tiles=1):
+        metrics.update(_pagerank_metrics())
+        metrics.update(_chain_metrics())
+        metrics.update(_schedule_metrics())
+    metrics.update(_tiled_metrics())
 
     doc = {
         "schema": 1,

@@ -83,6 +83,7 @@ from .exceptions import (
 )
 from .obs import tracing
 from .schedule import Scheduled
+from .tiling import tiled
 
 __version__ = "1.0.0"
 
@@ -111,6 +112,7 @@ __all__ = [
     "wait",
     # traversal schedule override (push/pull direction; §13)
     "Scheduled",
+    "tiled",
     # observability
     "obs",
     "tracing",

@@ -205,6 +205,19 @@ def cmd_doctor(args) -> int:
         f"autotuner: {'on' if _schedule.tuner_enabled() else 'off'} "
         f"(PYGB_SCHEDULE_TUNER)"
     )
+    from . import tiling as _tiling
+
+    tstats = _tiling.stats()
+    print(
+        f"tiling:          tiles={_tiling.tiles_mode()} (PYGB_TILES)   "
+        f"workers={_tiling.workers_count()} (PYGB_WORKERS)"
+    )
+    print(
+        f"tiled dispatch:  {tstats['partitioned_total']} partitioned, "
+        f"{tstats['forwarded_total']} forwarded, "
+        f"{tstats['tile_tasks']} tile tasks, "
+        f"{tstats['tiles_created']} tiles created"
+    )
     snap = cache.stats.snapshot()
     print(
         f"cache activity:  {snap['memory_hits']} memory hits, "

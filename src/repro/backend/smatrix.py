@@ -20,7 +20,16 @@ __all__ = ["SparseMatrix"]
 class SparseMatrix:
     """CSR sparse matrix; kernels treat instances as immutable."""
 
-    __slots__ = ("nrows", "ncols", "indptr", "indices", "values", "_transpose_cache")
+    __slots__ = (
+        "nrows",
+        "ncols",
+        "indptr",
+        "indices",
+        "values",
+        "_transpose_cache",
+        "_lengths_cache",
+        "_degree_stats_cache",
+    )
 
     def __init__(
         self,
@@ -36,6 +45,11 @@ class SparseMatrix:
         self.indices = indices
         self.values = values
         self._transpose_cache: "SparseMatrix | None" = None
+        # memoized degree statistics (row_lengths / degree_stats); like the
+        # transpose cache these are safe because instances are immutable by
+        # convention, and like it they are never shared across copy/astype
+        self._lengths_cache: np.ndarray | None = None
+        self._degree_stats_cache: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -142,12 +156,32 @@ class SparseMatrix:
         """``(rows, cols, values)`` in row-major order (cols ascend within
         each row); rows are expanded from the CSR row pointer."""
         rows = np.repeat(
-            np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr)
+            np.arange(self.nrows, dtype=np.int64), self.row_lengths()
         )
         return rows, self.indices, self.values
 
     def row_lengths(self) -> np.ndarray:
-        return np.diff(self.indptr)
+        """Per-row entry counts (memoized, read-only).
+
+        The schedule cost model consults these on every traversal
+        iteration and the tile splitter on every partition decision, so
+        the ``np.diff`` scan over ``indptr`` runs at most once per store.
+        """
+        if self._lengths_cache is None:
+            lengths = np.diff(self.indptr)
+            lengths.flags.writeable = False
+            self._lengths_cache = lengths
+        return self._lengths_cache
+
+    def degree_stats(self) -> tuple[int, int]:
+        """``(total_nnz, max_degree)``, memoized alongside row_lengths."""
+        if self._degree_stats_cache is None:
+            lengths = self.row_lengths()
+            self._degree_stats_cache = (
+                int(self.indptr[-1]) if self.indptr.size else 0,
+                int(lengths.max()) if lengths.size else 0,
+            )
+        return self._degree_stats_cache
 
     def transposed(self) -> "SparseMatrix":
         """CSR of the transpose (cached; shared immutable arrays)."""

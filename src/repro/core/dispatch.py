@@ -22,10 +22,21 @@ interface:
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..backend import kernels as K
+from ..backend import tiled as T
+from ..backend.kernels.select_ import POSITIONAL_SELECT_OPS, SELECT_OPS
+from ..backend.tiled import TiledMatrix
 from ..exceptions import BackendUnavailable, CompilationError
 
-__all__ = ["InterpretedEngine", "CountingEngine", "ResilientEngine", "make_engine"]
+__all__ = [
+    "InterpretedEngine",
+    "CountingEngine",
+    "PartitionedEngine",
+    "ResilientEngine",
+    "make_engine",
+]
 
 
 class InterpretedEngine:
@@ -232,11 +243,446 @@ class ResilientEngine:
         return f"ResilientEngine({' -> '.join(e.name for e in self._chain)})"
 
 
+def _vec_mask_ok(desc, out) -> bool:
+    """Mask either absent or conformant — nonconformant masks forward to
+    the monolithic kernel so its canonical error surfaces."""
+    m = desc.mask
+    return m is None or getattr(m, "size", None) == out.size
+
+
+def _mat_mask_ok(desc, out) -> bool:
+    m = desc.mask
+    return m is None or getattr(m, "shape", None) == out.shape
+
+
+class PartitionedEngine:
+    """Row-tile fan-out around any engine — the tiled data plane's
+    executor (``make_engine`` wraps every engine it builds, so the full
+    runtime stack is ``Tracing(Partitioned(Resilient(jit)))``).
+
+    A dispatch whose output rows follow a matrix operand's rows is
+    *partitionable*: each row block computes independently on a worker
+    thread (the kernels are reentrant — they only read operands and
+    allocate fresh outputs) and the per-block partials merge by
+    row-disjoint concatenation.  ``finalize_vec``/``finalize_mat`` are
+    positionwise, so slicing the output, the mask, and the descriptor to
+    the block's row range commutes with finalize — the merged result is
+    bit-identical to the monolithic call.  Scalar reductions merge by a
+    monoid fold instead, and only when the fold is exactly associative
+    for the dtype (ints/bools always; floats only for order-insensitive
+    monoids) — otherwise the dispatch forwards monolithically.  Assigns
+    carry read-after-write hazards across arbitrary target rows, so they
+    always execute monolithically, in program order, on the dispatch
+    thread (the "hazard-aware ordering" policy).
+
+    Everything not explicitly partitioned here forwards untouched via
+    ``__getattr__`` — including ``primary``/``cache``/``prefetch_jobs``,
+    which the nonblocking queue and resilience layer reach through this
+    wrapper.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = getattr(inner, "name", "?")
+
+    @property
+    def supports_fusion(self) -> bool:
+        return getattr(self._inner, "supports_fusion", False)
+
+    def __getattr__(self, attr):
+        return getattr(self._inner, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PartitionedEngine({self._inner!r})"
+
+    # -- fan-out / merge internals --------------------------------------
+    def _note_forward_if_tiled(self, op: str, a) -> None:
+        from .. import tiling
+
+        if isinstance(a, TiledMatrix) and a.ntiles > 1:
+            tiling.note_forward(op)
+
+    def _fan_vec(self, op, part, out, desc, call, sched=None, edges=None):
+        """Fan a vector-output dispatch over *part*'s row blocks.
+
+        Each task slices the output vector and the mask down to its row
+        range, runs the per-tile kernel, and the partials concatenate
+        with rebased indices.  When a (dense-direction) schedule rides
+        along, the examined-edge counter is credited once, on the
+        dispatch thread, with exactly the monolithic count, and the tile
+        and worker choices are annotated on the schedule for the tracer.
+        """
+        from .. import tiling
+
+        splits = part.splits
+        tiles = part.tiles()
+        workers = min(tiling.workers_count(), len(tiles))
+        tiling.note_partition(op, len(tiles), workers)
+
+        def task(k, tile):
+            r0, r1 = int(splits[k]), int(splits[k + 1])
+            return call(tile, T.slice_vec_rows(out, r0, r1), T.slice_desc_rows(desc, r0, r1))
+
+        parts = tiling.run_tile_tasks(
+            [lambda k=k, tile=tile: task(k, tile) for k, tile in enumerate(tiles)]
+        )
+        tiling.note_merge("concat")
+        w = T.concat_vec_parts(parts, out.size, splits)
+        if sched is not None:
+            from .. import schedule
+
+            schedule.note_edges("dense", edges)
+            sched.tiles = len(tiles)
+            sched.workers = workers
+        return w
+
+    def _fan_mat(self, op, part, out, desc, call):
+        """Fan a matrix-output dispatch over *part*'s row blocks and
+        merge by CSR stacking; the merged store re-tiles under the
+        active configuration so tiling persists across ops."""
+        from .. import tiling
+
+        splits = part.splits
+        tiles = part.tiles()
+        workers = min(tiling.workers_count(), len(tiles))
+        tiling.note_partition(op, len(tiles), workers)
+
+        def task(k, tile):
+            r0, r1 = int(splits[k]), int(splits[k + 1])
+            return call(tile, T.row_block(out, r0, r1), T.slice_desc_rows(desc, r0, r1), r0, r1)
+
+        parts = tiling.run_tile_tasks(
+            [lambda k=k, tile=tile: task(k, tile) for k, tile in enumerate(tiles)]
+        )
+        tiling.note_merge("concat")
+        return tiling.maybe_tile(T.concat_mat_parts(parts, out.ncols))
+
+    # -- matrix-vector multiplication -----------------------------------
+    def mxv(self, out, a, u, add, mult, desc, ta=False, sched=None):
+        from .. import tiling
+
+        inner = self._inner
+        if sched is not None and sched.direction in ("push", "pull"):
+            # push/pull kernels walk frontier-driven row sets, not row
+            # blocks — pinned directions stay monolithic (and skip any
+            # transpose build the monolithic kernel would also skip)
+            self._note_forward_if_tiled("mxv", a)
+            return inner.mxv(out, a, u, add, mult, desc, ta, sched)
+        if not tiling.wants_partition(a):
+            return inner.mxv(out, a, u, add, mult, desc, ta, sched)
+        g = a.transposed() if ta else a  # the gather matrix: output rows = g rows
+        part = None
+        if u.size == g.ncols and out.size == g.nrows and _vec_mask_ok(desc, out):
+            part = tiling.partition_for(g)
+        if part is None:
+            self._note_forward_if_tiled("mxv", a)
+            return inner.mxv(out, a, u, add, mult, desc, ta, sched)
+        u.dense_lookup()  # warm the shared gather memo on the dispatch thread
+        return self._fan_vec(
+            "mxv", part, out, desc,
+            lambda tile, w, d: inner.mxv(w, tile, u, add, mult, d, False, None),
+            sched=sched, edges=int(g.indices.size),
+        )
+
+    def vxm(self, out, u, a, add, mult, desc, ta=False, sched=None):
+        from .. import tiling
+
+        inner = self._inner
+        if sched is not None and sched.direction in ("push", "pull"):
+            self._note_forward_if_tiled("vxm", a)
+            return inner.vxm(out, u, a, add, mult, desc, ta, sched)
+        if not tiling.wants_partition(a):
+            return inner.vxm(out, u, a, add, mult, desc, ta, sched)
+        g = a if ta else a.transposed()  # vxm gathers along the transpose
+        part = None
+        if u.size == g.ncols and out.size == g.nrows and _vec_mask_ok(desc, out):
+            part = tiling.partition_for(g)
+        if part is None:
+            self._note_forward_if_tiled("vxm", a)
+            return inner.vxm(out, u, a, add, mult, desc, ta, sched)
+        u.dense_lookup()
+        return self._fan_vec(
+            "vxm", part, out, desc,
+            # a row block of g is a column block of the vxm operand, so
+            # the per-tile call flips to the ta=True orientation whose
+            # gather matrix is the tile itself — no per-tile transposes
+            lambda tile, w, d: inner.vxm(w, u, tile, add, mult, d, True, None),
+            sched=sched, edges=int(g.indices.size),
+        )
+
+    def mxv_apply(self, out, a, u, add, mult, op_spec, desc, ta=False):
+        from .. import tiling
+
+        inner = self._inner
+        if not tiling.wants_partition(a):
+            return inner.mxv_apply(out, a, u, add, mult, op_spec, desc, ta)
+        g = a.transposed() if ta else a
+        part = None
+        if u.size == g.ncols and out.size == g.nrows and _vec_mask_ok(desc, out):
+            part = tiling.partition_for(g)
+        if part is None:
+            self._note_forward_if_tiled("mxv_apply", a)
+            return inner.mxv_apply(out, a, u, add, mult, op_spec, desc, ta)
+        u.dense_lookup()
+        return self._fan_vec(
+            "mxv_apply", part, out, desc,
+            lambda tile, w, d: inner.mxv_apply(w, tile, u, add, mult, op_spec, d, False),
+        )
+
+    def vxm_apply(self, out, u, a, add, mult, op_spec, desc, ta=False):
+        from .. import tiling
+
+        inner = self._inner
+        if not tiling.wants_partition(a):
+            return inner.vxm_apply(out, u, a, add, mult, op_spec, desc, ta)
+        g = a if ta else a.transposed()
+        part = None
+        if u.size == g.ncols and out.size == g.nrows and _vec_mask_ok(desc, out):
+            part = tiling.partition_for(g)
+        if part is None:
+            self._note_forward_if_tiled("vxm_apply", a)
+            return inner.vxm_apply(out, u, a, add, mult, op_spec, desc, ta)
+        u.dense_lookup()
+        return self._fan_vec(
+            "vxm_apply", part, out, desc,
+            lambda tile, w, d: inner.vxm_apply(w, u, tile, add, mult, op_spec, d, True),
+        )
+
+    # -- matrix-matrix multiplication -----------------------------------
+    def mxm(self, out, a, b, add, mult, desc, ta=False, tb=False):
+        from .. import tiling
+
+        inner = self._inner
+        if not tiling.wants_partition(a):
+            return tiling.maybe_tile(inner.mxm(out, a, b, add, mult, desc, ta, tb))
+        g = a.transposed() if ta else a
+        bshape = (b.ncols, b.nrows) if tb else b.shape
+        part = None
+        if (
+            g.ncols == bshape[0]
+            and out.shape == (g.nrows, bshape[1])
+            and _mat_mask_ok(desc, out)
+        ):
+            part = tiling.partition_for(g)
+        if part is None:
+            self._note_forward_if_tiled("mxm", a)
+            return tiling.maybe_tile(inner.mxm(out, a, b, add, mult, desc, ta, tb))
+        if tb:
+            b.transposed()  # materialise once before the fan-out
+        return self._fan_mat(
+            "mxm", part, out, desc,
+            lambda tile, c, d, r0, r1: inner.mxm(c, tile, b, add, mult, d, False, tb),
+        )
+
+    def mxm_reduce_rows(self, out, a, b, add, mult, rop, desc, ta=False, tb=False):
+        from .. import tiling
+
+        inner = self._inner
+        if not tiling.wants_partition(a):
+            return inner.mxm_reduce_rows(out, a, b, add, mult, rop, desc, ta, tb)
+        g = a.transposed() if ta else a
+        bshape = (b.ncols, b.nrows) if tb else b.shape
+        part = None
+        if g.ncols == bshape[0] and out.size == g.nrows and _vec_mask_ok(desc, out):
+            part = tiling.partition_for(g)
+        if part is None:
+            self._note_forward_if_tiled("mxm_reduce_rows", a)
+            return inner.mxm_reduce_rows(out, a, b, add, mult, rop, desc, ta, tb)
+        if tb:
+            b.transposed()
+        # the row reduction never crosses a tile boundary (tiles are whole
+        # rows), so any monoid — float Plus included — stays bit-identical
+        return self._fan_vec(
+            "mxm_reduce_rows", part, out, desc,
+            lambda tile, w, d: inner.mxm_reduce_rows(w, tile, b, add, mult, rop, d, False, tb),
+        )
+
+    # -- elementwise ----------------------------------------------------
+    def _ewise_mat(self, op, out, a, b, desc, ta, tb, mono, per_tile):
+        from .. import tiling
+
+        if not tiling.wants_partition(a):
+            return tiling.maybe_tile(mono())
+        g = a.transposed() if ta else a
+        hshape = (b.ncols, b.nrows) if tb else b.shape
+        part = None
+        if g.shape == hshape and out.shape == g.shape and _mat_mask_ok(desc, out):
+            part = tiling.partition_for(g)
+        if part is None:
+            self._note_forward_if_tiled(op, a)
+            return tiling.maybe_tile(mono())
+        h = b.transposed() if tb else b
+        return self._fan_mat(
+            op, part, out, desc,
+            lambda tile, c, d, r0, r1: per_tile(tile, T.row_block(h, r0, r1), c, d),
+        )
+
+    def ewise_add_mat(self, out, a, b, op, desc, ta=False, tb=False):
+        inner = self._inner
+        return self._ewise_mat(
+            "ewise_add_mat", out, a, b, desc, ta, tb,
+            lambda: inner.ewise_add_mat(out, a, b, op, desc, ta, tb),
+            lambda tile, bblk, c, d: inner.ewise_add_mat(c, tile, bblk, op, d, False, False),
+        )
+
+    def ewise_mult_mat(self, out, a, b, op, desc, ta=False, tb=False):
+        inner = self._inner
+        return self._ewise_mat(
+            "ewise_mult_mat", out, a, b, desc, ta, tb,
+            lambda: inner.ewise_mult_mat(out, a, b, op, desc, ta, tb),
+            lambda tile, bblk, c, d: inner.ewise_mult_mat(c, tile, bblk, op, d, False, False),
+        )
+
+    def ewise_add_mat_apply(self, out, a, b, op, op_spec, desc, ta=False, tb=False):
+        inner = self._inner
+        return self._ewise_mat(
+            "ewise_add_mat_apply", out, a, b, desc, ta, tb,
+            lambda: inner.ewise_add_mat_apply(out, a, b, op, op_spec, desc, ta, tb),
+            lambda tile, bblk, c, d: inner.ewise_add_mat_apply(
+                c, tile, bblk, op, op_spec, d, False, False
+            ),
+        )
+
+    def ewise_mult_mat_apply(self, out, a, b, op, op_spec, desc, ta=False, tb=False):
+        inner = self._inner
+        return self._ewise_mat(
+            "ewise_mult_mat_apply", out, a, b, desc, ta, tb,
+            lambda: inner.ewise_mult_mat_apply(out, a, b, op, op_spec, desc, ta, tb),
+            lambda tile, bblk, c, d: inner.ewise_mult_mat_apply(
+                c, tile, bblk, op, op_spec, d, False, False
+            ),
+        )
+
+    # -- apply / select / reduce ----------------------------------------
+    def apply_mat(self, out, a, op_spec, desc, ta=False):
+        from .. import tiling
+
+        inner = self._inner
+        if not tiling.wants_partition(a):
+            return tiling.maybe_tile(inner.apply_mat(out, a, op_spec, desc, ta))
+        g = a.transposed() if ta else a
+        part = None
+        if out.shape == g.shape and _mat_mask_ok(desc, out):
+            part = tiling.partition_for(g)
+        if part is None:
+            self._note_forward_if_tiled("apply_mat", a)
+            return tiling.maybe_tile(inner.apply_mat(out, a, op_spec, desc, ta))
+        return self._fan_mat(
+            "apply_mat", part, out, desc,
+            lambda tile, c, d, r0, r1: inner.apply_mat(c, tile, op_spec, d, False),
+        )
+
+    def select_mat(self, out, a, op, thunk, desc, ta=False):
+        from .. import tiling
+
+        inner = self._inner
+        rebase = op in POSITIONAL_SELECT_OPS and isinstance(thunk, (int, np.integer))
+        if not tiling.wants_partition(a) or not (rebase or op in SELECT_OPS):
+            return tiling.maybe_tile(inner.select_mat(out, a, op, thunk, desc, ta))
+        g = a.transposed() if ta else a
+        part = None
+        if out.shape == g.shape and _mat_mask_ok(desc, out):
+            part = tiling.partition_for(g)
+        if part is None:
+            self._note_forward_if_tiled("select_mat", a)
+            return tiling.maybe_tile(inner.select_mat(out, a, op, thunk, desc, ta))
+        return self._fan_mat(
+            "select_mat", part, out, desc,
+            # a row block sees local row numbers, so the row-relative
+            # predicates (col REL row + k) shift their thunk by the
+            # block's first global row
+            lambda tile, c, d, r0, r1: inner.select_mat(
+                c, tile, op, thunk + r0 if rebase else thunk, d, False
+            ),
+        )
+
+    def reduce_rows(self, out, a, op, desc, ta=False):
+        from .. import tiling
+
+        inner = self._inner
+        if not tiling.wants_partition(a):
+            return inner.reduce_rows(out, a, op, desc, ta)
+        g = a.transposed() if ta else a
+        part = None
+        if out.size == g.nrows and _vec_mask_ok(desc, out):
+            part = tiling.partition_for(g)
+        if part is None:
+            self._note_forward_if_tiled("reduce_rows", a)
+            return inner.reduce_rows(out, a, op, desc, ta)
+        return self._fan_vec(
+            "reduce_rows", part, out, desc,
+            lambda tile, w, d: inner.reduce_rows(w, tile, op, d, False),
+        )
+
+    def reduce_mat_scalar(self, a, op, identity):
+        from .. import tiling
+
+        inner = self._inner
+        if not tiling.wants_partition(a):
+            return inner.reduce_mat_scalar(a, op, identity)
+        if not tiling.exact_fold(op, a.dtype):
+            # float Plus/Times would be reassociated by the tile
+            # boundaries (NumPy reduces pairwise) — forward for
+            # bit-identity with the monolithic path
+            self._note_forward_if_tiled("reduce_mat_scalar", a)
+            return inner.reduce_mat_scalar(a, op, identity)
+        part = tiling.partition_for(a)
+        if part is None:
+            self._note_forward_if_tiled("reduce_mat_scalar", a)
+            return inner.reduce_mat_scalar(a, op, identity)
+        live = [t for t in part.tiles() if t.nvals]
+        if not live:
+            return inner.reduce_mat_scalar(a, op, identity)
+        workers = min(tiling.workers_count(), len(live))
+        tiling.note_partition("reduce_mat_scalar", part.ntiles, workers)
+        partials = tiling.run_tile_tasks(
+            [lambda t=t: inner.reduce_mat_scalar(t, op, identity) for t in live]
+        )
+        tiling.note_merge("fold")
+        return tiling.fold_scalars(op, partials, a.dtype)
+
+    # -- structure-changing ops: monolithic, with re-tiled outputs -------
+    def transpose(self, out, a, desc):
+        from .. import tiling
+
+        return tiling.maybe_tile(self._inner.transpose(out, a, desc))
+
+    def kronecker(self, out, a, b, op, desc, ta=False, tb=False):
+        from .. import tiling
+
+        return tiling.maybe_tile(self._inner.kronecker(out, a, b, op, desc, ta, tb))
+
+    def extract_mat(self, out, a, rows, cols, desc, ta=False):
+        from .. import tiling
+
+        return tiling.maybe_tile(self._inner.extract_mat(out, a, rows, cols, desc, ta))
+
+    def assign_mat(self, out, a, rows, cols, desc, ta=False):
+        from .. import tiling
+
+        # assigns scatter into arbitrary target rows — cross-block
+        # read-after-write hazards — so they run monolithically, in
+        # program order, on the dispatch thread
+        self._note_forward_if_tiled("assign_mat", out)
+        return tiling.maybe_tile(self._inner.assign_mat(out, a, rows, cols, desc, ta))
+
+    def assign_mat_scalar(self, out, value, rows, cols, desc):
+        from .. import tiling
+
+        self._note_forward_if_tiled("assign_mat_scalar", out)
+        return tiling.maybe_tile(
+            self._inner.assign_mat_scalar(out, value, rows, cols, desc)
+        )
+
+
 def make_engine(name: str):
     """Instantiate an engine by name (``interpreted``, ``pyjit``, ``cpp``).
 
-    The JIT engines come wrapped in the :class:`ResilientEngine` fallback
-    chain unless ``$PYGB_JIT_STRICT`` is set; ``cpp`` still raises
+    Every engine comes wrapped in the :class:`PartitionedEngine` tiled
+    data plane (inert until ``$PYGB_TILES``/``gb.tiled`` ask for tiles,
+    and outside the per-dispatch hot path the overhead guard measures).
+    The JIT engines additionally sit in the :class:`ResilientEngine`
+    fallback chain unless ``$PYGB_JIT_STRICT`` is set; ``cpp`` still raises
     :class:`BackendUnavailable` **eagerly** when no compiler exists —
     an explicitly requested engine that can never work is a configuration
     error, not a degradation case.
@@ -244,23 +690,23 @@ def make_engine(name: str):
     from ..jit.health import jit_strict
 
     if name == "interpreted":
-        return InterpretedEngine()
+        return PartitionedEngine(InterpretedEngine())
     if name == "pyjit":
         from ..jit.pyengine import PyJitEngine
 
         engine = PyJitEngine()
         if jit_strict():
-            return engine
-        return ResilientEngine([engine, InterpretedEngine()])
+            return PartitionedEngine(engine)
+        return PartitionedEngine(ResilientEngine([engine, InterpretedEngine()]))
     if name == "cpp":
         from ..jit.cppengine import CppJitEngine
         from ..jit.pyengine import PyJitEngine
 
         engine = CppJitEngine()
         if jit_strict():
-            return engine
-        return ResilientEngine(
-            [engine, PyJitEngine(engine.cache), InterpretedEngine()]
+            return PartitionedEngine(engine)
+        return PartitionedEngine(
+            ResilientEngine([engine, PyJitEngine(engine.cache), InterpretedEngine()])
         )
     raise BackendUnavailable(
         f"unknown engine {name!r}; valid: interpreted, pyjit, cpp"

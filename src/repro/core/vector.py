@@ -54,7 +54,15 @@ class Vector(Container):
             self._store = data.new(dtype=dtype)._store
             return
         if isinstance(data, Vector):
-            self._store = data._store.astype(dtype) if dtype is not None else data._store.copy()
+            src = data._store
+            store = src.astype(dtype) if dtype is not None else src.copy()
+            if store is src:
+                # astype() to the same dtype returns the source store;
+                # the copy-construction contract requires independent
+                # storage, so never alias the source (or its memoized
+                # dense-lookup/bitmap frontier representations)
+                store = src.copy()
+            self._store = store
             return
         if data is None:
             if shape is None:

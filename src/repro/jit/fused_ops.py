@@ -35,6 +35,13 @@ class FusedOp:
     slot: str      # consumer operand slot the producer feeds
     output: str    # "vec" | "mat" | "scalar"
     where: str = "plan"
+    #: whether the fused kernel still executes correctly per row tile.
+    #: Every current rule is row-local (the PartitionedEngine fans the
+    #: fused method itself over the blocks), but a rule whose kernel
+    #: crosses a tile merge boundary must set False — the planner then
+    #: refuses to absorb nodes with tiled matrix operands rather than
+    #: silently discarding the partition.
+    tile_safe: bool = True
 
 
 FUSED_OPS = (

@@ -18,11 +18,30 @@ A producer is only absorbed when it is safe:
 
 from __future__ import annotations
 
+from ..backend.tiled import TiledMatrix
 from ..core.expressions import Expression, _store_of
 from ..core.plan import Plan
 from .fused_ops import FUSED_OPS
 
 __all__ = ["Fused", "fuse_expression"]
+
+
+def _crosses_tile_boundary(rule, node, cnode) -> bool:
+    """True when a non-tile-safe rule would absorb a node holding a tiled
+    matrix operand — the fused kernel would have to run monolithically,
+    silently crossing the partition's merge boundary, so the planner
+    keeps the pair as separate (individually partitionable) dispatches."""
+    if rule.tile_safe:
+        return False
+    for pn in (node, cnode):
+        expr = pn.expr
+        for slot in getattr(expr, "operand_slots", ()):
+            operand = getattr(expr, slot, None)
+            target = getattr(operand, "parent", operand)  # TransposeView
+            store = getattr(target, "_backing", None)
+            if isinstance(store, TiledMatrix) and store.ntiles > 1:
+                return True
+    return False
 
 #: (consumer plan_kind, producer plan_kind) -> rule, for planner rules
 PAIRS = {(op.consumer, op.producer): op for op in FUSED_OPS if op.where == "plan"}
@@ -124,6 +143,7 @@ def fuse_expression(root, engine):
                 # fused kernels run the dense traversal only — a node
                 # pinned to push/pull must stay a standalone dispatch
                 or (sched is not None and sched.pins_direction)
+                or _crosses_tile_boundary(cand, node, cnode)
             ):
                 continue
             fused = Fused(cand, cnode.expr, node.expr)

@@ -57,6 +57,7 @@ class StatsAggregator:
         self.cache_events: dict[str, int] = {}
         self.ffi: dict = {"calls": 0, "total_ns": 0, "kernel_ns": 0}
         self.schedule: dict = {"directions": {}, "chosen_by": {}, "switches": 0}
+        self.tiling: dict = {"partitioned": 0, "tile_tasks": 0, "forwarded": 0}
 
     def note_span(self, name: str, cat: str, dur_ns: int, attrs: dict) -> None:
         bucket = min(max(int(dur_ns), 0).bit_length(), HIST_BUCKETS - 1)
@@ -94,6 +95,13 @@ class StatsAggregator:
             if name == "schedule.switch":
                 with self._lock:
                     self.schedule["switches"] += 1
+        elif cat == "tiling":
+            with self._lock:
+                if name == "tiling.partition":
+                    self.tiling["partitioned"] += 1
+                    self.tiling["tile_tasks"] += int(attrs.get("tiles") or 0)
+                elif name == "tiling.forward":
+                    self.tiling["forwarded"] += 1
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -116,6 +124,7 @@ class StatsAggregator:
                     "chosen_by": dict(self.schedule["chosen_by"]),
                     "switches": self.schedule["switches"],
                 },
+                "tiling": dict(self.tiling),
             }
 
 
@@ -204,6 +213,10 @@ def merge_stats(base: dict, extra: dict) -> dict:
         sched["chosen_by"][key] = sched["chosen_by"].get(key, 0) + n
     sched["switches"] += extra_sched.get("switches", 0)
     out["schedule"] = sched
+    tiling = dict(base.get("tiling", {}))
+    for key, n in extra.get("tiling", {}).items():
+        tiling[key] = tiling.get(key, 0) + n
+    out["tiling"] = tiling
     return out
 
 
@@ -277,6 +290,13 @@ def render_stats(data: dict, cache_stats: dict | None = None) -> str:
             f"traversal schedule: {dirs}; "
             f"{sched.get('switches', 0)} direction switches"
             + (f"; chosen by {by}" if by else "")
+        )
+    tiling = data.get("tiling", {})
+    if tiling.get("partitioned") or tiling.get("forwarded"):
+        lines.append(
+            f"tiled data plane: {tiling.get('partitioned', 0)} partitioned "
+            f"dispatches ({tiling.get('tile_tasks', 0)} tile tasks), "
+            f"{tiling.get('forwarded', 0)} forwarded monolithically"
         )
     ffi = data.get("ffi", {})
     if ffi.get("calls"):

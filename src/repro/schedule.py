@@ -264,6 +264,8 @@ class Schedule:
         "candidates",
         "site",
         "bucket",
+        "tiles",
+        "workers",
     )
 
     def __init__(self, mode: str = "auto", forced: str | None = None):
@@ -275,6 +277,10 @@ class Schedule:
         self.candidates = None
         self.site = None
         self.bucket = None
+        # filled in by the PartitionedEngine when this dispatch fans out
+        # over row tiles — surfaces in trace span attributes
+        self.tiles = None
+        self.workers = None
 
     @classmethod
     def capture(cls) -> "Schedule":
@@ -363,7 +369,7 @@ class Schedule:
             candidates.append(("push", 0))
         elif scatter_ready or unnz * 4 <= size or a._transpose_cache is not None:
             s = a if scatter_ready else a.transposed()
-            deg = s.indptr[u.indices + 1] - s.indptr[u.indices]
+            deg = s.row_lengths()[u.indices]
             candidates.append(("push", int(deg.sum())))
 
         # pull: Σ in-degree(candidates) on the gather matrix, discounted
@@ -374,7 +380,7 @@ class Schedule:
             # the gather matrix is `a` exactly when the scatter matrix
             # is its transpose, and vice versa
             g = a.transposed() if scatter_ready else a
-            pdeg = g.indptr[cand + 1] - g.indptr[cand]
+            pdeg = g.row_lengths()[cand]
             cost = int(pdeg.sum())
             if str(add_op) == "LogicalOr":
                 cost = cost // _EARLY_EXIT_DISCOUNT + cand.size

@@ -1,0 +1,364 @@
+"""Tiled data-plane configuration, counters, and the worker pool.
+
+This module is the control plane for row-block tiling (the storage side
+lives in ``backend/tiled.py``, the executor in ``core.dispatch``'s
+``PartitionedEngine``).  Mirroring ``schedule.py``, it exposes:
+
+* env-var knobs re-read per operation — ``$PYGB_TILES`` (``auto`` | ``1``
+  | ``<n>``) and ``$PYGB_WORKERS`` (worker-thread count, default the CPU
+  count);
+* a :class:`tiled` context manager whose innermost block overrides the
+  env vars (the DSL-level ``gb.tiled(...)``);
+* deterministic process-wide counters (:func:`stats` /
+  :func:`reset_stats`) that the benchmark harness and ``repro doctor``
+  report — tiles created, partitioned/forwarded dispatches per op, tile
+  tasks executed, merges per kind;
+* a lazily built ``ThreadPoolExecutor`` shared by all partitioned
+  dispatches.  Kernels are reentrant (they only read their operands and
+  allocate fresh outputs), so plain threads suffice; tasks are submitted
+  and collected in tile order to keep execution deterministic.
+
+``auto`` mode only tiles when there is real parallelism to win:
+multiple workers, at least :data:`AUTO_TILE_MIN_NNZ` stored values, and
+at least two rows per worker.  Small graphs therefore stay monolithic
+and the default configuration is machine-independent in CI.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from .backend.smatrix import SparseMatrix
+from .backend.tiled import TiledMatrix
+
+__all__ = [
+    "AUTO_TILE_MIN_NNZ",
+    "tiled",
+    "tiles_mode",
+    "workers_count",
+    "maybe_tile",
+    "partition_for",
+    "wants_partition",
+    "exact_fold",
+    "fold_scalars",
+    "run_tile_tasks",
+    "note_partition",
+    "note_forward",
+    "note_merge",
+    "reset_stats",
+    "stats",
+]
+
+_FALSEY = frozenset({"0", "false", "off", "no"})
+
+#: auto mode leaves matrices below this nnz monolithic — per-tile Python
+#: dispatch overhead swamps any bandwidth win on small operands
+AUTO_TILE_MIN_NNZ = 65536
+
+
+# ----------------------------------------------------------------------
+# configuration: env vars + context-manager overrides
+# ----------------------------------------------------------------------
+
+
+class tiled:
+    """Force a tiling configuration for a block::
+
+        with gb.tiled(tiles=4, workers=2):
+            w[mask] = graph @ frontier
+
+    ``tiles`` accepts ``"auto"``, ``1`` (monolithic — the ablation
+    setting), or an explicit tile count; ``workers`` caps the pool for
+    dispatches inside the block.  ``None`` leaves the corresponding env
+    var (``$PYGB_TILES`` / ``$PYGB_WORKERS``) in charge; the innermost
+    block wins."""
+
+    def __init__(self, tiles=None, workers=None):
+        if tiles is not None and not (
+            isinstance(tiles, str) and tiles.strip().lower() == "auto"
+        ):
+            tiles = int(tiles)
+            if tiles < 1:
+                raise ValueError(f"tiled(tiles={tiles}): tile count must be >= 1")
+        elif isinstance(tiles, str):
+            tiles = "auto"
+        if workers is not None:
+            workers = int(workers)
+            if workers < 1:
+                raise ValueError(f"tiled(workers={workers}): worker count must be >= 1")
+        self.tiles = tiles
+        self.workers = workers
+
+    def __enter__(self):
+        from .core import context
+
+        context.push(self)
+        return self
+
+    def __exit__(self, *exc):
+        from .core import context
+
+        context.pop(self)
+        return False
+
+    def __repr__(self) -> str:
+        return f"tiled(tiles={self.tiles!r}, workers={self.workers!r})"
+
+
+def _innermost_tiled():
+    from .core import context
+
+    return context.find(lambda o: isinstance(o, tiled))
+
+
+def tiles_mode():
+    """The active tile count: ``"auto"`` or an int ``>= 1``.  Innermost
+    ``gb.tiled(...)`` block wins over ``$PYGB_TILES`` (re-read per
+    operation, like the other execution flags)."""
+    ctx = _innermost_tiled()
+    if ctx is not None and ctx.tiles is not None:
+        return ctx.tiles
+    raw = os.environ.get("PYGB_TILES", "auto").strip().lower()
+    if raw in ("auto", ""):
+        return "auto"
+    try:
+        n = int(raw)
+        if n >= 1:
+            return n
+    except ValueError:
+        pass
+    warnings.warn(
+        f"pygb: bad $PYGB_TILES={raw!r} (valid: auto, or an integer >= 1); "
+        "using auto",
+        stacklevel=2,
+    )
+    return "auto"
+
+
+def workers_count() -> int:
+    """The worker-pool size: innermost ``gb.tiled(workers=...)`` block,
+    else ``$PYGB_WORKERS``, else the CPU count."""
+    ctx = _innermost_tiled()
+    if ctx is not None and ctx.workers is not None:
+        return ctx.workers
+    raw = os.environ.get("PYGB_WORKERS", "").strip()
+    if raw:
+        try:
+            n = int(raw)
+            if n >= 1:
+                return n
+        except ValueError:
+            pass
+        warnings.warn(
+            f"pygb: bad $PYGB_WORKERS={raw!r} (valid: an integer >= 1); "
+            "using the CPU count",
+            stacklevel=2,
+        )
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# deterministic counters
+# ----------------------------------------------------------------------
+
+
+class _TilingStats:
+    """Process-wide deterministic tiling counters (no timing)."""
+
+    __slots__ = ("tiles_created", "partitioned", "forwarded", "tile_tasks", "merges")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.tiles_created = 0
+        self.partitioned = {}
+        self.forwarded = {}
+        self.tile_tasks = 0
+        self.merges = {}
+
+
+STATS = _TilingStats()
+
+
+def note_partition(op: str, ntiles: int, workers: int) -> None:
+    """Record one dispatch fanned out over *ntiles* row blocks."""
+    STATS.partitioned[op] = STATS.partitioned.get(op, 0) + 1
+    from . import obs
+
+    if obs.ACTIVE:
+        obs.record_event(
+            "tiling.partition", "tiling", op=op, tiles=int(ntiles), workers=int(workers)
+        )
+
+
+def note_forward(op: str) -> None:
+    """Record one dispatch on a tiled operand executed monolithically
+    (pinned push/pull schedule, inexact reduction fold, hazard-bearing
+    assign, or a partition below the threshold)."""
+    STATS.forwarded[op] = STATS.forwarded.get(op, 0) + 1
+    from . import obs
+
+    if obs.ACTIVE:
+        obs.record_event("tiling.forward", "tiling", op=op)
+
+
+def note_merge(kind: str) -> None:
+    """Record one partial-result merge (``concat`` or ``fold``)."""
+    STATS.merges[kind] = STATS.merges.get(kind, 0) + 1
+
+
+def reset_stats() -> None:
+    """Zero the tiling counters."""
+    STATS.reset()
+
+
+def stats() -> dict:
+    """Snapshot of the deterministic tiling counters."""
+    return {
+        "tiles_created": STATS.tiles_created,
+        "partitioned": dict(STATS.partitioned),
+        "partitioned_total": sum(STATS.partitioned.values()),
+        "forwarded": dict(STATS.forwarded),
+        "forwarded_total": sum(STATS.forwarded.values()),
+        "tile_tasks": STATS.tile_tasks,
+        "merges": dict(STATS.merges),
+        "merges_total": sum(STATS.merges.values()),
+    }
+
+
+# ----------------------------------------------------------------------
+# partition decisions
+# ----------------------------------------------------------------------
+
+
+def wants_partition(a: SparseMatrix) -> bool:
+    """Cheap pre-check: could a dispatch on *a* possibly partition?
+
+    Called before any transpose is materialised — ``nvals`` is invariant
+    under transposition, so the expensive thresholds can be tested on the
+    un-transposed operand; the row-count checks happen later in
+    :func:`partition_for` on the effective matrix."""
+    if isinstance(a, TiledMatrix):
+        return a.ntiles > 1
+    mode = tiles_mode()
+    if mode == "auto":
+        n = workers_count()
+        return n > 1 and a.nvals >= AUTO_TILE_MIN_NNZ
+    return mode > 1
+
+
+def partition_for(g: SparseMatrix):
+    """The :class:`TiledMatrix` partition driving one dispatch whose
+    output rows follow *g*'s rows, or ``None`` to stay monolithic.
+
+    Already-tiled operands reuse their stored splits; plain operands get
+    a transient partition when the active configuration asks for one
+    (this is how ``gb.tiled(...)`` applies to containers built outside
+    the block)."""
+    if isinstance(g, TiledMatrix):
+        return g if g.ntiles > 1 else None
+    mode = tiles_mode()
+    if mode == "auto":
+        n = workers_count()
+        if n <= 1 or g.nvals < AUTO_TILE_MIN_NNZ or g.nrows < 2 * n:
+            return None
+    else:
+        n = mode
+        if n <= 1 or g.nrows < n:
+            return None
+    t = TiledMatrix.from_monolithic(g, n)
+    if t.ntiles <= 1:
+        return None
+    STATS.tiles_created += t.ntiles
+    return t
+
+
+def maybe_tile(store):
+    """Wrap a plain matrix store in a :class:`TiledMatrix` when the
+    active configuration calls for it (no-op on vectors, on already
+    tiled stores, and below the thresholds).  Containers route every
+    newly adopted matrix store through here."""
+    if type(store) is not SparseMatrix:
+        return store
+    mode = tiles_mode()
+    if mode == "auto":
+        n = workers_count()
+        if n <= 1 or store.nvals < AUTO_TILE_MIN_NNZ or store.nrows < 2 * n:
+            return store
+    else:
+        n = mode
+        if n <= 1 or store.nrows < n:
+            return store
+    t = TiledMatrix.from_monolithic(store, n)
+    if t.ntiles <= 1:
+        return store
+    STATS.tiles_created += t.ntiles
+    return t
+
+
+# ----------------------------------------------------------------------
+# scalar-reduction merge semantics
+# ----------------------------------------------------------------------
+
+#: float folds that are exactly associative, so per-tile partials merge
+#: bit-identically; float Plus/Times are NOT here because NumPy's pairwise
+#: summation would be reassociated by the tile boundaries
+_EXACT_FOLD_FLOAT_OPS = frozenset({"Min", "Max", "LogicalOr", "LogicalAnd", "LogicalXor"})
+
+
+def exact_fold(op: str, dtype) -> bool:
+    """Whether a per-tile reduction with monoid *op* on *dtype* folds to
+    the bit-identical monolithic result (ints/bools always; floats only
+    for the order-insensitive monoids)."""
+    if np.dtype(dtype).kind in "biu":
+        return True
+    return str(op) in _EXACT_FOLD_FLOAT_OPS
+
+
+def fold_scalars(op: str, parts, dtype):
+    """Left-fold per-tile reduction partials with the monoid function and
+    cast to the container dtype (matching the kernel's scalar contract)."""
+    from .backend.ops_table import binary_def
+
+    f = binary_def(op).func
+    acc = parts[0]
+    for p in parts[1:]:
+        acc = f(acc, p)
+    return np.dtype(dtype).type(acc)
+
+
+# ----------------------------------------------------------------------
+# the worker pool
+# ----------------------------------------------------------------------
+
+_POOL: ThreadPoolExecutor | None = None
+_POOL_SIZE = 0
+
+
+def _executor(n: int) -> ThreadPoolExecutor:
+    global _POOL, _POOL_SIZE
+    if _POOL is None or _POOL_SIZE < n:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False)
+        _POOL = ThreadPoolExecutor(max_workers=n, thread_name_prefix="pygb-tile")
+        _POOL_SIZE = n
+    return _POOL
+
+
+def run_tile_tasks(tasks):
+    """Execute the per-tile thunks and return their results in tile
+    order.  With one effective worker this is a plain loop (no pool, no
+    thread hop); otherwise tasks are submitted and gathered in order so
+    the merge — and therefore the result — is deterministic regardless
+    of completion order."""
+    STATS.tile_tasks += len(tasks)
+    n = min(workers_count(), len(tasks))
+    if n <= 1:
+        return [t() for t in tasks]
+    pool = _executor(n)
+    return [f.result() for f in [pool.submit(t) for t in tasks]]

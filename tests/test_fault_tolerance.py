@@ -19,7 +19,12 @@ import pytest
 import repro as gb
 from repro.backend.kernels import OpDesc
 from repro.backend.svector import SparseVector
-from repro.core.dispatch import InterpretedEngine, ResilientEngine, make_engine
+from repro.core.dispatch import (
+    InterpretedEngine,
+    PartitionedEngine,
+    ResilientEngine,
+    make_engine,
+)
 from repro.exceptions import (
     BackendUnavailable,
     CompilationError,
@@ -207,13 +212,16 @@ class TestPyJitFallback:
 
     def test_make_engine_wraps_pyjit_in_fallback_chain(self):
         eng = make_engine("pyjit")
-        assert isinstance(eng, ResilientEngine)
+        # composition order: Partitioned(Resilient(pyjit -> interpreted))
+        assert isinstance(eng, PartitionedEngine)
+        assert isinstance(eng._inner, ResilientEngine)
         assert eng.name == "pyjit"  # chain reports the primary's name
 
     def test_strict_mode_returns_bare_engine(self, monkeypatch):
         monkeypatch.setenv("PYGB_JIT_STRICT", "1")
         eng = make_engine("pyjit")
-        assert not isinstance(eng, ResilientEngine)
+        assert isinstance(eng, PartitionedEngine)
+        assert not isinstance(eng._inner, ResilientEngine)
 
     def test_strict_mode_raises_through_dsl(self, tmp_path, monkeypatch):
         monkeypatch.setenv("PYGB_JIT_STRICT", "1")
