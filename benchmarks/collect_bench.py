@@ -239,6 +239,61 @@ def _tiled_metrics() -> dict:
     }
 
 
+def _guard_metrics() -> dict:
+    """Deterministic guardrail counters: inject exactly one tile-worker
+    crash into a tiled PageRank and count the degradation ladder's
+    response.  ``times=1`` makes the fault accumulator fire on the first
+    tile task only, so the ladder must degrade that one fan-out to a
+    monolithic re-execution (degrades=1) and quarantine tiling for the
+    crashed op signature (quarantines=1) — counts that depend only on
+    the program, never the machine.  Bit-identity with the fault-free
+    run is an invariant, asserted rather than tracked, so a ladder that
+    returns partial tile results can never publish a green point.
+    """
+    import warnings
+
+    import numpy as np
+
+    from repro import guard
+    from repro.testing.faults import FAULTS
+
+    g = erdos_renyi(PAGERANK_N, seed=7, weighted=True, dtype=float)
+
+    def run():
+        pr = gb.Vector(shape=(PAGERANK_N,), dtype=float)
+        pagerank(g, pr, threshold=1.0e-8)
+        return pr.to_numpy()
+
+    with gb.tiled(tiles=1):
+        clean = run()
+
+    guard.reset_stats()
+    guard.tiling_health().reset()
+    FAULTS.install("worker_crash", rate=1.0, times=1)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # degrade/quarantine warnings
+            with gb.tiled(tiles=4, workers=2):
+                survived = run()
+        counters = guard.stats()
+    finally:
+        FAULTS.clear()
+        guard.tiling_health().reset()
+        guard.reset_stats()
+
+    assert np.array_equal(clean, survived), (
+        "PageRank under an injected tile-worker crash diverged from the "
+        "fault-free run"
+    )
+    assert counters["timeouts_total"] == 0 and counters["cancels_total"] == 0, (
+        "worker-crash injection tripped unrelated guard counters"
+    )
+    return {
+        "guard.pagerank.degrades": counters["degrades_total"],
+        "guard.pagerank.quarantines": counters["quarantines_total"],
+    }
+
+
 def _timing_sections() -> dict:
     timings = {}
     for name in ("fusion", "overhead"):
@@ -263,6 +318,7 @@ def main(argv=None) -> int:
         metrics.update(_chain_metrics())
         metrics.update(_schedule_metrics())
     metrics.update(_tiled_metrics())
+    metrics.update(_guard_metrics())
 
     doc = {
         "schema": 1,

@@ -30,7 +30,7 @@ Three execution engines implement every operation (select with
   (the ablation baseline).
 """
 
-from . import io, obs, utilities
+from . import guard, io, obs, utilities
 from .core import (
     Accumulator,
     BinaryOp,
@@ -78,9 +78,13 @@ from .exceptions import (
     GraphBLASError,
     IndexOutOfBounds,
     InvalidValue,
+    KernelExecutionError,
     NoOperatorInContext,
+    OperationCancelled,
+    OperationTimeout,
     UnknownOperator,
 )
+from .guard import deadline
 from .obs import tracing
 from .schedule import Scheduled
 from .tiling import tiled
@@ -113,6 +117,9 @@ __all__ = [
     # traversal schedule override (push/pull direction; §13)
     "Scheduled",
     "tiled",
+    # runtime guardrails (deadlines, cancellation; §15)
+    "deadline",
+    "guard",
     # observability
     "obs",
     "tracing",
@@ -148,4 +155,7 @@ __all__ = [
     "UnknownOperator",
     "CompilationError",
     "BackendUnavailable",
+    "KernelExecutionError",
+    "OperationTimeout",
+    "OperationCancelled",
 ]

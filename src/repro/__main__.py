@@ -247,6 +247,33 @@ def cmd_doctor(args) -> int:
             for kind, rule in sorted(faults.items())
         )
         print(f"fault injection: {rendered}")
+    from . import guard as _guard
+
+    timeout = _guard.op_timeout()
+    wtimeout = _guard.worker_timeout()
+    print(
+        f"guardrails:      op timeout "
+        f"{f'{timeout:g}s' if timeout else 'disabled'} (PYGB_OP_TIMEOUT)   "
+        f"worker timeout "
+        f"{f'{wtimeout:g}s' if wtimeout else 'disabled'} (PYGB_WORKER_TIMEOUT)"
+    )
+    gstats = _guard.stats()
+    print(
+        f"guard activity:  {gstats['timeouts_total']} timeouts, "
+        f"{gstats['cancels_total']} cancellations, "
+        f"{gstats['degrades_total']} tiled-execution degrades, "
+        f"{gstats['quarantines_total']} tiling quarantines"
+    )
+    ghealth = _guard.tiling_health().snapshot()
+    if ghealth["specs"]:
+        print(f"quarantined tiling ops ({len(ghealth['specs'])}):")
+        for row in ghealth["specs"]:
+            print(
+                f"  {row['key']}: {row['failures']} failure(s), {row['state']}"
+                + (f" — {row['last_error']}" if row["last_error"] else "")
+            )
+    else:
+        print("quarantined tiling ops: none")
     from .obs.stats import default_stats_path, load_stats
 
     trace_env = os.environ.get("PYGB_TRACE")

@@ -28,7 +28,14 @@ from ..backend import kernels as K
 from ..backend import tiled as T
 from ..backend.kernels.select_ import POSITIONAL_SELECT_OPS, SELECT_OPS
 from ..backend.tiled import TiledMatrix
-from ..exceptions import BackendUnavailable, CompilationError
+from ..exceptions import (
+    BackendUnavailable,
+    CompilationError,
+    KernelExecutionError,
+    OperationCancelled,
+    OperationTimeout,
+)
+from ..testing.faults import FAULTS
 
 __all__ = [
     "InterpretedEngine",
@@ -195,12 +202,18 @@ class ResilientEngine:
 
     Wraps an ordered engine chain (``cpp → pyjit → interpreted`` or
     ``pyjit → interpreted``).  A dispatch method that raises
-    :class:`CompilationError` (including the quarantine fast-fail) or
-    :class:`BackendUnavailable` on one engine is retried verbatim on the
-    next; the per-spec circuit breaker lives below, in the engines'
+    :class:`CompilationError` (including the quarantine fast-fail),
+    :class:`BackendUnavailable`, or a runtime
+    :class:`KernelExecutionError` on one engine is retried verbatim on
+    the next; the per-spec circuit breaker lives below, in the engines'
     module-retrieval step, so retries after the first failure skip the
     doomed compile entirely.  ``$PYGB_JIT_STRICT=1`` bypasses this
     wrapper (``make_engine`` returns the bare engine).
+
+    The ``kernel_fail`` and ``slow_kernel`` runtime faults hook in here,
+    per engine attempt — inside the chain loop, so an injected crash on
+    the primary engine exercises exactly the fallback path a real kernel
+    crash would take.
     """
 
     def __init__(self, chain):
@@ -231,8 +244,16 @@ class ResilientEngine:
                     if cache is not None:
                         cache.note_fallback()
                 try:
+                    if FAULTS.fire("kernel_fail"):
+                        raise KernelExecutionError(
+                            f"injected kernel failure in {engine.name}.{attr}"
+                        )
+                    if FAULTS.fire("slow_kernel"):
+                        from .. import guard
+
+                        guard.cooperative_sleep(guard.fault_sleep_seconds())
                     return method(*args, **kwargs)
-                except (CompilationError, BackendUnavailable) as exc:
+                except (CompilationError, BackendUnavailable, KernelExecutionError) as exc:
                     last_exc = exc
             raise last_exc
 
@@ -302,7 +323,7 @@ class PartitionedEngine:
         if isinstance(a, TiledMatrix) and a.ntiles > 1:
             tiling.note_forward(op)
 
-    def _fan_vec(self, op, part, out, desc, call, sched=None, edges=None):
+    def _fan_vec(self, op, part, out, desc, call, mono, sched=None, edges=None):
         """Fan a vector-output dispatch over *part*'s row blocks.
 
         Each task slices the output vector and the mask down to its row
@@ -311,9 +332,18 @@ class PartitionedEngine:
         along, the examined-edge counter is credited once, on the
         dispatch thread, with exactly the monolithic count, and the tile
         and worker choices are annotated on the schedule for the tracer.
-        """
-        from .. import tiling
 
+        *mono* re-executes the dispatch monolithically with its original
+        arguments: the degradation path when tiling is quarantined for
+        this op or a tile worker crashes/hangs mid-fan-out.  Deadline
+        expiry and cancellation re-raise instead — re-running a blown
+        budget monolithically would only waste more of it.
+        """
+        from .. import guard, tiling
+
+        if guard.tiling_quarantined(op):
+            tiling.note_forward(op)
+            return mono()
         splits = part.splits
         tiles = part.tiles()
         workers = min(tiling.workers_count(), len(tiles))
@@ -323,9 +353,15 @@ class PartitionedEngine:
             r0, r1 = int(splits[k]), int(splits[k + 1])
             return call(tile, T.slice_vec_rows(out, r0, r1), T.slice_desc_rows(desc, r0, r1))
 
-        parts = tiling.run_tile_tasks(
-            [lambda k=k, tile=tile: task(k, tile) for k, tile in enumerate(tiles)]
-        )
+        try:
+            parts = tiling.run_tile_tasks(
+                [lambda k=k, tile=tile: task(k, tile) for k, tile in enumerate(tiles)]
+            )
+        except (OperationCancelled, OperationTimeout):
+            raise
+        except Exception as exc:
+            guard.note_tile_failure(op, exc)
+            return mono()
         tiling.note_merge("concat")
         w = T.concat_vec_parts(parts, out.size, splits)
         if sched is not None:
@@ -336,12 +372,17 @@ class PartitionedEngine:
             sched.workers = workers
         return w
 
-    def _fan_mat(self, op, part, out, desc, call):
+    def _fan_mat(self, op, part, out, desc, call, mono):
         """Fan a matrix-output dispatch over *part*'s row blocks and
         merge by CSR stacking; the merged store re-tiles under the
-        active configuration so tiling persists across ops."""
-        from .. import tiling
+        active configuration so tiling persists across ops.  *mono* is
+        the monolithic degradation path (see :meth:`_fan_vec`); its
+        result re-tiles the same way the forwarded paths do."""
+        from .. import guard, tiling
 
+        if guard.tiling_quarantined(op):
+            tiling.note_forward(op)
+            return tiling.maybe_tile(mono())
         splits = part.splits
         tiles = part.tiles()
         workers = min(tiling.workers_count(), len(tiles))
@@ -351,9 +392,15 @@ class PartitionedEngine:
             r0, r1 = int(splits[k]), int(splits[k + 1])
             return call(tile, T.row_block(out, r0, r1), T.slice_desc_rows(desc, r0, r1), r0, r1)
 
-        parts = tiling.run_tile_tasks(
-            [lambda k=k, tile=tile: task(k, tile) for k, tile in enumerate(tiles)]
-        )
+        try:
+            parts = tiling.run_tile_tasks(
+                [lambda k=k, tile=tile: task(k, tile) for k, tile in enumerate(tiles)]
+            )
+        except (OperationCancelled, OperationTimeout):
+            raise
+        except Exception as exc:
+            guard.note_tile_failure(op, exc)
+            return tiling.maybe_tile(mono())
         tiling.note_merge("concat")
         return tiling.maybe_tile(T.concat_mat_parts(parts, out.ncols))
 
@@ -381,6 +428,7 @@ class PartitionedEngine:
         return self._fan_vec(
             "mxv", part, out, desc,
             lambda tile, w, d: inner.mxv(w, tile, u, add, mult, d, False, None),
+            lambda: inner.mxv(out, a, u, add, mult, desc, ta, sched),
             sched=sched, edges=int(g.indices.size),
         )
 
@@ -407,6 +455,7 @@ class PartitionedEngine:
             # the per-tile call flips to the ta=True orientation whose
             # gather matrix is the tile itself — no per-tile transposes
             lambda tile, w, d: inner.vxm(w, u, tile, add, mult, d, True, None),
+            lambda: inner.vxm(out, u, a, add, mult, desc, ta, sched),
             sched=sched, edges=int(g.indices.size),
         )
 
@@ -427,6 +476,7 @@ class PartitionedEngine:
         return self._fan_vec(
             "mxv_apply", part, out, desc,
             lambda tile, w, d: inner.mxv_apply(w, tile, u, add, mult, op_spec, d, False),
+            lambda: inner.mxv_apply(out, a, u, add, mult, op_spec, desc, ta),
         )
 
     def vxm_apply(self, out, u, a, add, mult, op_spec, desc, ta=False):
@@ -446,6 +496,7 @@ class PartitionedEngine:
         return self._fan_vec(
             "vxm_apply", part, out, desc,
             lambda tile, w, d: inner.vxm_apply(w, u, tile, add, mult, op_spec, d, True),
+            lambda: inner.vxm_apply(out, u, a, add, mult, op_spec, desc, ta),
         )
 
     # -- matrix-matrix multiplication -----------------------------------
@@ -472,6 +523,7 @@ class PartitionedEngine:
         return self._fan_mat(
             "mxm", part, out, desc,
             lambda tile, c, d, r0, r1: inner.mxm(c, tile, b, add, mult, d, False, tb),
+            lambda: inner.mxm(out, a, b, add, mult, desc, ta, tb),
         )
 
     def mxm_reduce_rows(self, out, a, b, add, mult, rop, desc, ta=False, tb=False):
@@ -495,6 +547,7 @@ class PartitionedEngine:
         return self._fan_vec(
             "mxm_reduce_rows", part, out, desc,
             lambda tile, w, d: inner.mxm_reduce_rows(w, tile, b, add, mult, rop, d, False, tb),
+            lambda: inner.mxm_reduce_rows(out, a, b, add, mult, rop, desc, ta, tb),
         )
 
     # -- elementwise ----------------------------------------------------
@@ -515,6 +568,7 @@ class PartitionedEngine:
         return self._fan_mat(
             op, part, out, desc,
             lambda tile, c, d, r0, r1: per_tile(tile, T.row_block(h, r0, r1), c, d),
+            mono,
         )
 
     def ewise_add_mat(self, out, a, b, op, desc, ta=False, tb=False):
@@ -570,6 +624,7 @@ class PartitionedEngine:
         return self._fan_mat(
             "apply_mat", part, out, desc,
             lambda tile, c, d, r0, r1: inner.apply_mat(c, tile, op_spec, d, False),
+            lambda: inner.apply_mat(out, a, op_spec, desc, ta),
         )
 
     def select_mat(self, out, a, op, thunk, desc, ta=False):
@@ -594,6 +649,7 @@ class PartitionedEngine:
             lambda tile, c, d, r0, r1: inner.select_mat(
                 c, tile, op, thunk + r0 if rebase else thunk, d, False
             ),
+            lambda: inner.select_mat(out, a, op, thunk, desc, ta),
         )
 
     def reduce_rows(self, out, a, op, desc, ta=False):
@@ -612,6 +668,7 @@ class PartitionedEngine:
         return self._fan_vec(
             "reduce_rows", part, out, desc,
             lambda tile, w, d: inner.reduce_rows(w, tile, op, d, False),
+            lambda: inner.reduce_rows(out, a, op, desc, ta),
         )
 
     def reduce_mat_scalar(self, a, op, identity):
@@ -630,14 +687,25 @@ class PartitionedEngine:
         if part is None:
             self._note_forward_if_tiled("reduce_mat_scalar", a)
             return inner.reduce_mat_scalar(a, op, identity)
+        from .. import guard
+
+        if guard.tiling_quarantined("reduce_mat_scalar"):
+            tiling.note_forward("reduce_mat_scalar")
+            return inner.reduce_mat_scalar(a, op, identity)
         live = [t for t in part.tiles() if t.nvals]
         if not live:
             return inner.reduce_mat_scalar(a, op, identity)
         workers = min(tiling.workers_count(), len(live))
         tiling.note_partition("reduce_mat_scalar", part.ntiles, workers)
-        partials = tiling.run_tile_tasks(
-            [lambda t=t: inner.reduce_mat_scalar(t, op, identity) for t in live]
-        )
+        try:
+            partials = tiling.run_tile_tasks(
+                [lambda t=t: inner.reduce_mat_scalar(t, op, identity) for t in live]
+            )
+        except (OperationCancelled, OperationTimeout):
+            raise
+        except Exception as exc:
+            guard.note_tile_failure("reduce_mat_scalar", exc)
+            return inner.reduce_mat_scalar(a, op, identity)
         tiling.note_merge("fold")
         return tiling.fold_scalars(op, partials, a.dtype)
 
@@ -679,34 +747,44 @@ def make_engine(name: str):
     """Instantiate an engine by name (``interpreted``, ``pyjit``, ``cpp``).
 
     Every engine comes wrapped in the :class:`PartitionedEngine` tiled
-    data plane (inert until ``$PYGB_TILES``/``gb.tiled`` ask for tiles,
-    and outside the per-dispatch hot path the overhead guard measures).
+    data plane (inert until ``$PYGB_TILES``/``gb.tiled`` ask for tiles)
+    and, outermost, the runtime-guardrail layer
+    (:class:`~repro.guard.GuardedEngine`, inert until a
+    ``gb.deadline(...)`` scope or ``$PYGB_OP_TIMEOUT`` arms it) — with
+    tracing on, the full stack is
+    ``Tracing(Guard(Partitioned(Resilient(jit))))``.  Both wrappers stay
+    outside the per-dispatch hot path the overhead guards measure.
     The JIT engines additionally sit in the :class:`ResilientEngine`
     fallback chain unless ``$PYGB_JIT_STRICT`` is set; ``cpp`` still raises
     :class:`BackendUnavailable` **eagerly** when no compiler exists —
     an explicitly requested engine that can never work is a configuration
     error, not a degradation case.
     """
+    from ..guard import GuardedEngine
     from ..jit.health import jit_strict
 
     if name == "interpreted":
-        return PartitionedEngine(InterpretedEngine())
+        return GuardedEngine(PartitionedEngine(InterpretedEngine()))
     if name == "pyjit":
         from ..jit.pyengine import PyJitEngine
 
         engine = PyJitEngine()
         if jit_strict():
-            return PartitionedEngine(engine)
-        return PartitionedEngine(ResilientEngine([engine, InterpretedEngine()]))
+            return GuardedEngine(PartitionedEngine(engine))
+        return GuardedEngine(
+            PartitionedEngine(ResilientEngine([engine, InterpretedEngine()]))
+        )
     if name == "cpp":
         from ..jit.cppengine import CppJitEngine
         from ..jit.pyengine import PyJitEngine
 
         engine = CppJitEngine()
         if jit_strict():
-            return PartitionedEngine(engine)
-        return PartitionedEngine(
-            ResilientEngine([engine, PyJitEngine(engine.cache), InterpretedEngine()])
+            return GuardedEngine(PartitionedEngine(engine))
+        return GuardedEngine(
+            PartitionedEngine(
+                ResilientEngine([engine, PyJitEngine(engine.cache), InterpretedEngine()])
+            )
         )
     raise BackendUnavailable(
         f"unknown engine {name!r}; valid: interpreted, pyjit, cpp"

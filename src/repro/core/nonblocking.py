@@ -65,6 +65,7 @@ import numpy as np
 
 from .. import obs
 from ..backend.kernels import OpDesc
+from ..testing.faults import FAULTS
 from .context import current_raw_engine, use_engine
 from .expressions import (
     Apply,
@@ -97,7 +98,7 @@ _DEFERRABLE = frozenset(
 
 _COUNTER_KEYS = (
     "enqueued", "flushes", "dead_stores", "copy_elisions", "substitutions",
-    "forced_evals", "prefetch_submitted",
+    "forced_evals", "prefetch_submitted", "flush_errors",
 )
 
 
@@ -474,6 +475,10 @@ def _commit(q, target, entry, kill: bool = True) -> None:
         )
     if len(q.entries) >= q.max_len:
         flush("queue-cap")
+    elif FAULTS.fire("queue_overflow"):
+        # injected overflow: exercise the cap-flush path deterministically
+        # regardless of the configured PYGB_QUEUE_MAX
+        flush("overflow")
 
 
 def _is_full_slice(index_key, target) -> bool:
@@ -510,7 +515,16 @@ def _freeze_index(index_key):
 # ----------------------------------------------------------------------
 
 def flush(reason: str = "explicit") -> None:
-    """Execute every pending entry in program order, skipping dead stores."""
+    """Execute every pending entry in program order, skipping dead stores.
+
+    Replay is failure-isolated: an entry that raises (a runtime kernel
+    fault, a deadline expiry, ...) is counted in ``flush_errors`` and its
+    target simply keeps its pre-statement value, but the remaining
+    entries still replay in order — one poisoned statement must not drop
+    or double-apply the stores queued after it.  The first exception is
+    re-raised once the queue is fully drained, so nonblocking code sees
+    the same error eager code would (just later, per the nonblocking
+    contract)."""
     st = _st()
     q = st.queue
     if q.flushing or not q.entries:
@@ -519,6 +533,8 @@ def flush(reason: str = "explicit") -> None:
     entries = q.entries
     q.flushing = True
     executed = 0
+    errors = 0
+    first_exc = None
     try:
         # detach first: store reads during replay must not re-enter
         for e in entries:
@@ -531,8 +547,14 @@ def flush(reason: str = "explicit") -> None:
             if e.dead and not e.force_eval:
                 continue
             executed += 1
-            with use_engine(e.engine):
-                _execute(e)
+            try:
+                with use_engine(e.engine):
+                    _execute(e)
+            except Exception as exc:
+                errors += 1
+                q.counters["flush_errors"] += 1
+                if first_exc is None:
+                    first_exc = exc
         q.counters["flushes"] += 1
     finally:
         q.flushing = False
@@ -545,7 +567,10 @@ def flush(reason: str = "explicit") -> None:
             reason=reason,
             entries=len(entries),
             executed=executed,
+            errors=errors,
         )
+    if first_exc is not None:
+        raise first_exc
 
 
 def _execute(entry: _Entry) -> None:

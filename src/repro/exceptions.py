@@ -58,6 +58,43 @@ class BackendUnavailable(GraphBLASError):
     this machine (no compiler found)."""
 
 
+class KernelExecutionError(GraphBLASError):
+    """A kernel failed *at runtime* (after a successful compile/load).
+    The resilience chain treats this like a compile failure — the
+    dispatch retries verbatim on the next engine down — but the
+    circuit breaker is keyed separately because the artifact itself is
+    healthy."""
+
+
+class _GuardrailError(GraphBLASError):
+    """Base for the runtime-guardrail exceptions: carries the op name,
+    the engine it ran on, and the elapsed wall time at the point the
+    guard intervened (``repro/guard.py``)."""
+
+    def __init__(self, message: str, *, op: str | None = None,
+                 engine: str | None = None, elapsed: float | None = None,
+                 budget: float | None = None):
+        super().__init__(message)
+        self.op = op
+        self.engine = engine
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class OperationTimeout(_GuardrailError):
+    """An operation exceeded its deadline budget (``gb.deadline(...)``
+    scope or ``$PYGB_OP_TIMEOUT``).  Catchable: the process stays
+    functional — pending nonblocking entries are flushed, worker pools
+    stay clean, and the next operation starts from a fresh budget."""
+
+
+class OperationCancelled(_GuardrailError):
+    """An operation was cancelled cooperatively — an explicit
+    ``deadline.cancel()``, or a kernel observing the cancellation flag.
+    When the cause was deadline expiry the guard layer re-raises it as
+    :class:`OperationTimeout` with the budget attached."""
+
+
 class JitFallbackWarning(UserWarning):
     """The JIT runtime degraded gracefully: a compile/load failure sent a
     kernel to the next engine in the fallback chain, or the cache

@@ -39,7 +39,7 @@ from ..backend.ops_table import (
 )
 from ..backend.smatrix import SparseMatrix
 from ..backend.svector import SparseVector
-from ..exceptions import BackendUnavailable, CompilationError
+from ..exceptions import BackendUnavailable, CompilationError, OperationCancelled
 from ..testing.faults import FAULTS
 from .cache import JitCache, default_cache
 from .cppcodegen import PARALLEL_FUNCS, generate_cpp_source
@@ -437,6 +437,18 @@ class CppJitEngine:
             lib.pygb_edges_examined.restype = c_int64
         except AttributeError:
             pass
+        try:
+            # cooperative cancellation flag (v9+); the guard watchdog
+            # asserts it from its own thread while a kernel is running
+            lib.pygb_request_cancel.restype = None
+            lib.pygb_request_cancel.argtypes = (c_int64,)
+            lib.pygb_cancel_requested.restype = c_int64
+        except AttributeError:  # pragma: no cover - legacy artifact
+            pass
+        else:
+            from .. import guard
+
+            guard.register_cancel_lib(lib)
         with self._libs_lock:
             return self._libs.setdefault(str(artifact), lib)
 
@@ -495,6 +507,10 @@ class CppJitEngine:
         out_idx = POINTER(c_int64)()
         out_vals = c_void_p()
         nnz = self._ffi_call(lib, (*packed.args, byref(out_idx), byref(out_vals)))
+        if nnz == -2:
+            # cancellation sentinel: the kernel bailed before the writeback,
+            # so no output buffers were allocated — nothing to free
+            raise OperationCancelled("C++ kernel observed cancellation flag")
         if nnz < 0:
             raise CompilationError("C++ kernel signalled failure")
         if nnz > 0:
@@ -515,6 +531,8 @@ class CppJitEngine:
             lib,
             (*packed.args, byref(out_indptr), byref(out_indices), byref(out_values)),
         )
+        if nnz == -2:
+            raise OperationCancelled("C++ kernel observed cancellation flag")
         if nnz < 0:
             raise CompilationError("C++ kernel signalled failure")
         indptr = np.ctypeslib.as_array(out_indptr, shape=(nrows + 1,)).copy()

@@ -35,6 +35,7 @@ GBTL_LITE_HEADER = r"""
 // gbtl_lite.hpp — mini-GBTL for the PyGB reproduction. Auto-written; do not edit.
 #pragma once
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -78,6 +79,26 @@ struct KernelTimer {
 inline int64_t& edges_examined_ref() {
     thread_local int64_t edges = 0;
     return edges;
+}
+
+// ---------------------------------------------------------------------
+// cooperative cancellation.  The Python watchdog thread asserts this flag
+// through the FFI boundary (pygb_request_cancel) while a kernel runs on a
+// DIFFERENT thread, so it must be one process-wide atomic per loaded
+// library — NOT thread_local.  Long serial row sweeps poll it every 1024
+// iterations and break; the generated writeback stage then returns the
+// -2 sentinel instead of exporting a partial result (no C++ exception
+// ever crosses an OpenMP region or the extern "C" frame — that would be
+// undefined behaviour).  OpenMP-parallel paths run to completion; the
+// sentinel check after them still discards the result promptly.
+// ---------------------------------------------------------------------
+inline std::atomic<int64_t>& cancel_flag_ref() {
+    static std::atomic<int64_t> flag{0};
+    return flag;
+}
+
+inline bool cancel_requested() {
+    return cancel_flag_ref().load(std::memory_order_relaxed) != 0;
 }
 
 // ---------------------------------------------------------------------
@@ -245,6 +266,7 @@ Vec<TT> mxv(const CSR<TA>& A, const Vec<TU>& u, AddOp add, MultOp mult) {
     }
 #endif
     for (Index i = 0; i < A.nrows; ++i) {
+        if ((i & 1023) == 0 && cancel_requested()) break;
         TT acc{}; bool any = false;
         for (Index p = A.indptr[i]; p < A.indptr[i + 1]; ++p) {
             const Index j = A.indices[p];
@@ -303,6 +325,7 @@ Vec<TT> vxm(const Vec<TU>& u, const CSR<TA>& A, AddOp add, MultOp mult) {
     std::vector<TT> acc(A.ncols);
     std::vector<uint8_t> has(A.ncols, 0);
     for (size_t k = 0; k < u.idx.size(); ++k) {
+        if ((k & 1023) == 0 && cancel_requested()) break;
         const Index row = u.idx[k];
         const TT uv = static_cast<TT>(u.val[k]);
         for (Index p = A.indptr[row]; p < A.indptr[row + 1]; ++p) {
@@ -336,6 +359,7 @@ Vec<TT> mxv_pull(const CSR<TA>& A, const Vec<TU>& u,
     Vec<TT> out; out.size = A.nrows;
     int64_t edges = 0;
     for (Index c = 0; c < n_cand; ++c) {
+        if ((c & 1023) == 0 && cancel_requested()) break;
         const Index i = cand[c];
         edges += A.indptr[i + 1] - A.indptr[i];
         TT acc{}; bool any = false;
@@ -374,6 +398,7 @@ Vec<TT> mxv_pull_or(const CSR<TA>& A, const Vec<TU>& u,
     Vec<TT> out; out.size = A.nrows;
     int64_t edges = 0;
     for (Index c = 0; c < n_cand; ++c) {
+        if ((c & 1023) == 0 && cancel_requested()) break;
         const Index i = cand[c];
         Index cur = A.indptr[i];
         const Index end = A.indptr[i + 1];
@@ -395,7 +420,6 @@ Vec<TT> mxv_pull_or(const CSR<TA>& A, const Vec<TU>& u,
         if (seen) { out.idx.push_back(i); out.val.push_back(static_cast<TT>(hit)); }
     }
     edges_examined_ref() = edges;
-    return out;
     return out;
 }
 
@@ -451,6 +475,7 @@ CSR<TT> mxm(const CSR<TA>& A, const CSR<TB>& B, AddOp add, MultOp mult) {
     std::vector<Index> mark(B.ncols, -1);
     std::vector<Index> touched;
     for (Index i = 0; i < A.nrows; ++i) {
+        if ((i & 1023) == 0 && cancel_requested()) break;
         touched.clear();
         for (Index p = A.indptr[i]; p < A.indptr[i + 1]; ++p) {
             const Index k = A.indices[p];

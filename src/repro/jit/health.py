@@ -76,12 +76,25 @@ class _SpecHealth:
 class EngineHealth:
     """Failure counters and quarantine state keyed by ``(engine, spec key)``."""
 
+    #: default one-time warning; ``{engine}``/``{key}``/``{error}`` slots
+    DEFAULT_WARN_TEMPLATE = (
+        "pygb: {engine} JIT failed for {key} ({error}); quarantined, "
+        "executing on the next engine in the fallback chain "
+        "(set PYGB_JIT_STRICT=1 to raise instead)"
+    )
+
     def __init__(self, retries: int | None = None,
-                 backoff: float = DEFAULT_BACKOFF_SECONDS):
+                 backoff: float = DEFAULT_BACKOFF_SECONDS, *,
+                 warn_template: str | None = None,
+                 event_name: str = "quarantine",
+                 event_cat: str = "cache"):
         self._lock = threading.Lock()
         self._records: dict[tuple[str, str], _SpecHealth] = {}
         self._retries = retries
         self._backoff = backoff
+        self._warn_template = warn_template or self.DEFAULT_WARN_TEMPLATE
+        self._event_name = event_name
+        self._event_cat = event_cat
 
     def _max_attempts(self) -> int:
         return self._retries if self._retries is not None else jit_retries()
@@ -126,15 +139,15 @@ class EngineHealth:
 
             if obs.ACTIVE:
                 obs.record_event(
-                    "quarantine", "cache", engine=engine, spec=key,
+                    self._event_name, self._event_cat, engine=engine, spec=key,
                     failures=rec.failures,
                 )
         if newly:
             warnings.warn(
-                f"pygb: {engine} JIT failed for {key} "
-                f"({rec.last_error.splitlines()[0][:200]}); quarantined, "
-                "executing on the next engine in the fallback chain "
-                "(set PYGB_JIT_STRICT=1 to raise instead)",
+                self._warn_template.format(
+                    engine=engine, key=key,
+                    error=rec.last_error.splitlines()[0][:200],
+                ),
                 JitFallbackWarning,
                 stacklevel=3,
             )

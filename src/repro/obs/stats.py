@@ -58,6 +58,7 @@ class StatsAggregator:
         self.ffi: dict = {"calls": 0, "total_ns": 0, "kernel_ns": 0}
         self.schedule: dict = {"directions": {}, "chosen_by": {}, "switches": 0}
         self.tiling: dict = {"partitioned": 0, "tile_tasks": 0, "forwarded": 0}
+        self.guard: dict[str, int] = {}
 
     def note_span(self, name: str, cat: str, dur_ns: int, attrs: dict) -> None:
         bucket = min(max(int(dur_ns), 0).bit_length(), HIST_BUCKETS - 1)
@@ -102,6 +103,10 @@ class StatsAggregator:
                     self.tiling["tile_tasks"] += int(attrs.get("tiles") or 0)
                 elif name == "tiling.forward":
                     self.tiling["forwarded"] += 1
+        elif cat == "guard":
+            # guard.timeout / guard.cancel / guard.degrade / guard.quarantine
+            with self._lock:
+                self.guard[name] = self.guard.get(name, 0) + 1
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -125,6 +130,7 @@ class StatsAggregator:
                     "switches": self.schedule["switches"],
                 },
                 "tiling": dict(self.tiling),
+                "guard": dict(self.guard),
             }
 
 
@@ -217,6 +223,10 @@ def merge_stats(base: dict, extra: dict) -> dict:
     for key, n in extra.get("tiling", {}).items():
         tiling[key] = tiling.get(key, 0) + n
     out["tiling"] = tiling
+    guard = dict(base.get("guard", {}))
+    for key, n in extra.get("guard", {}).items():
+        guard[key] = guard.get(key, 0) + n
+    out["guard"] = guard
     return out
 
 
@@ -297,6 +307,14 @@ def render_stats(data: dict, cache_stats: dict | None = None) -> str:
             f"tiled data plane: {tiling.get('partitioned', 0)} partitioned "
             f"dispatches ({tiling.get('tile_tasks', 0)} tile tasks), "
             f"{tiling.get('forwarded', 0)} forwarded monolithically"
+        )
+    guard = data.get("guard", {})
+    if guard:
+        lines.append(
+            f"runtime guardrails: {guard.get('guard.timeout', 0)} timeouts, "
+            f"{guard.get('guard.cancel', 0)} cancellations, "
+            f"{guard.get('guard.degrade', 0)} tiled-execution degrades, "
+            f"{guard.get('guard.quarantine', 0)} tiling quarantines"
         )
     ffi = data.get("ffi", {})
     if ffi.get("calls"):

@@ -23,14 +23,30 @@ once, then let the rebuild succeed" expressible as ``corrupt_so:0.5``.
 
 Supported kinds and their hook points:
 
-=============== ====================================================
-``compile_fail``  ``CppJitEngine._compile`` raises ``CompilationError``
-``slow_compile``  the compiler command is replaced by a sleeper so the
-                  ``PYGB_COMPILE_TIMEOUT`` machinery trips for real
-``corrupt_so``    the freshly compiled ``.so`` is truncated in place
-``dlopen_fail``   ``ctypes.CDLL`` load raises ``OSError``
-``pyjit_fail``    ``PyJitEngine._module`` raises ``CompilationError``
-=============== ====================================================
+================== ====================================================
+``compile_fail``    ``CppJitEngine._compile`` raises ``CompilationError``
+``slow_compile``    the compiler command is replaced by a sleeper so the
+                    ``PYGB_COMPILE_TIMEOUT`` machinery trips for real
+``corrupt_so``      the freshly compiled ``.so`` is truncated in place
+``dlopen_fail``     ``ctypes.CDLL`` load raises ``OSError``
+``pyjit_fail``      ``PyJitEngine._module`` raises ``CompilationError``
+``kernel_fail``     ``ResilientEngine`` raises ``KernelExecutionError``
+                    *at runtime* before trying an engine (the kernel
+                    "crashed"), exercising the execution fallback chain
+``slow_kernel``     the dispatch stalls for ``$PYGB_FAULT_SLEEP`` (50ms
+                    default) via an interruptible sleep, tripping
+                    ``gb.deadline`` / ``PYGB_OP_TIMEOUT`` for real
+``worker_crash``    one tile-worker task raises ``KernelExecutionError``
+                    mid-fan-out, exercising monolithic re-execution
+``worker_hang``     one tile-worker task stalls ``$PYGB_FAULT_HANG``
+                    (30s default), tripping ``PYGB_WORKER_TIMEOUT``
+``queue_overflow``  the nonblocking queue flushes immediately after the
+                    next enqueue (a forced ``overflow`` flush reason)
+================== ====================================================
+
+The five runtime kinds (``kernel_fail`` … ``queue_overflow``) sit on hot
+dispatch paths, so :meth:`FaultPlan.fire` takes a lock-free fast path
+when no rules are installed and ``$PYGB_FAULT`` is unset.
 """
 
 from __future__ import annotations
@@ -40,9 +56,22 @@ import threading
 
 __all__ = ["FAULT_KINDS", "FaultPlan", "FAULTS", "fault_injection"]
 
-FAULT_KINDS = frozenset(
-    {"compile_fail", "slow_compile", "corrupt_so", "dlopen_fail", "pyjit_fail"}
-)
+FAULT_KINDS = frozenset({
+    # compile/load pipeline faults (PR 3)
+    "compile_fail", "slow_compile", "corrupt_so", "dlopen_fail", "pyjit_fail",
+    # runtime execution faults (guardrail ladder)
+    "kernel_fail", "slow_kernel", "worker_crash", "worker_hang", "queue_overflow",
+})
+
+
+def _check_kind(kind: str) -> None:
+    """Uniform kind validation for both configuration paths (env parsing
+    and programmatic install) — same exception, same message."""
+    if kind not in FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; "
+            f"valid: {', '.join(sorted(FAULT_KINDS))}"
+        )
 
 
 class _Rule:
@@ -64,11 +93,7 @@ def _parse_env(raw: str) -> dict[str, _Rule]:
         if not entry:
             continue
         kind, _, rate_s = entry.partition(":")
-        if kind not in FAULT_KINDS:
-            raise ValueError(
-                f"unknown fault kind {kind!r} in $PYGB_FAULT; "
-                f"valid: {', '.join(sorted(FAULT_KINDS))}"
-            )
+        _check_kind(kind)
         rules[kind] = _Rule(float(rate_s) if rate_s else 1.0)
     return rules
 
@@ -87,8 +112,7 @@ class FaultPlan:
         """Programmatic hook: make *kind* fire at *rate*, at most *times*
         times (None = unlimited).  Survives until :meth:`clear` or an
         env-var change."""
-        if kind not in FAULT_KINDS:
-            raise ValueError(f"unknown fault kind {kind!r}")
+        _check_kind(kind)
         with self._lock:
             self._sync_env_locked()
             self._rules[kind] = _Rule(rate, times)
@@ -111,7 +135,13 @@ class FaultPlan:
 
     # -- the hook -------------------------------------------------------
     def fire(self, kind: str) -> bool:
-        """Whether the hook point *kind* should inject its fault now."""
+        """Whether the hook point *kind* should inject its fault now.
+
+        The runtime kinds call this once per dispatch, so the common case
+        (no rules installed, ``$PYGB_FAULT`` unset) is answered without
+        taking the lock."""
+        if not self._rules and not os.environ.get("PYGB_FAULT"):
+            return False
         with self._lock:
             self._sync_env_locked()
             rule = self._rules.get(kind)

@@ -27,8 +27,11 @@ and the default configuration is machine-independent in CI.
 from __future__ import annotations
 
 import os
+import threading
+import time
 import warnings
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 
 import numpy as np
 
@@ -183,6 +186,11 @@ class _TilingStats:
 
 
 STATS = _TilingStats()
+
+#: tile tasks increment ``STATS.tile_tasks`` from worker threads, so the
+#: read-modify-write needs a lock to stay exact (all other counters are
+#: dispatch-thread-only)
+_TASK_COUNT_LOCK = threading.Lock()
 
 
 def note_partition(op: str, ntiles: int, workers: int) -> None:
@@ -350,15 +358,94 @@ def _executor(n: int) -> ThreadPoolExecutor:
     return _POOL
 
 
+def _discard_pool() -> None:
+    """Abandon the shared executor (a worker is wedged in it).  The old
+    pool's threads drain on their own — daemon-style shutdown without
+    waiting — and the next partitioned dispatch builds a fresh pool, so
+    one hung kernel never poisons later ops."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+    _POOL = None
+    _POOL_SIZE = 0
+
+
 def run_tile_tasks(tasks):
     """Execute the per-tile thunks and return their results in tile
     order.  With one effective worker this is a plain loop (no pool, no
     thread hop); otherwise tasks are submitted and gathered in order so
     the merge — and therefore the result — is deterministic regardless
-    of completion order."""
-    STATS.tile_tasks += len(tasks)
+    of completion order.
+
+    Guardrails (``repro/guard.py``) thread through here:
+
+    * each worker task runs under the dispatching op's guard, so
+      deadline/cancellation checkpoints fire inside per-tile kernels;
+    * the ``worker_crash``/``worker_hang`` faults inject at task entry;
+    * gathering is bounded by the op deadline and ``$PYGB_WORKER_TIMEOUT``
+      — a worker that never returns raises ``KernelExecutionError``
+      (hang detected) instead of blocking forever;
+    * on ANY failure — including ``KeyboardInterrupt`` mid-gather — the
+      remaining futures are cancelled and signalled to abort, already
+      running ones are drained briefly, and a pool with a still-wedged
+      worker is discarded, so the next op starts from a consistent
+      executor and the partial results are never observable.
+
+    ``STATS.tile_tasks`` counts tasks actually *started*, so an aborted
+    fan-out does not inflate the counter with never-run tiles.
+    """
+    from . import guard
+    from .exceptions import KernelExecutionError
+    from .testing.faults import FAULTS
+
     n = min(workers_count(), len(tasks))
+    abort = threading.Event()
+    og = guard.current_op()
+
+    def run_task(t):
+        with guard.bound_op(og):
+            if abort.is_set():
+                raise KernelExecutionError("tile task aborted (sibling failed)")
+            guard.check_cancelled()
+            if FAULTS.fire("worker_crash"):
+                raise KernelExecutionError("injected tile-worker crash")
+            if FAULTS.fire("worker_hang"):
+                guard.cooperative_sleep(guard.hang_seconds(), extra_event=abort)
+                raise KernelExecutionError("injected tile-worker hang")
+            with _TASK_COUNT_LOCK:
+                STATS.tile_tasks += 1
+            return t()
+
     if n <= 1:
-        return [t() for t in tasks]
+        return [run_task(t) for t in tasks]
+
     pool = _executor(n)
-    return [f.result() for f in [pool.submit(t) for t in tasks]]
+    futures = []
+    try:
+        futures = [pool.submit(run_task, t) for t in tasks]
+        wt = guard.worker_timeout()
+        results = []
+        for f in futures:
+            budget = None
+            dl = guard.op_deadline_at()
+            if dl is not None:
+                budget = max(0.0, dl - time.monotonic()) + 0.25
+            if wt is not None and (budget is None or wt < budget):
+                budget = wt
+            try:
+                results.append(f.result(timeout=budget))
+            except FuturesTimeoutError:
+                raise KernelExecutionError(
+                    f"tile worker did not finish within {budget:.1f}s "
+                    "(hang detected); fan-out aborted"
+                ) from None
+        return results
+    except BaseException:
+        # cancel-and-drain: nothing from this fan-out may leak into the
+        # pool or the next dispatch
+        abort.set()
+        for f in futures:
+            f.cancel()
+        if futures and wait(futures, timeout=1.0).not_done:
+            _discard_pool()
+        raise

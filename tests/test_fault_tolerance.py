@@ -211,17 +211,23 @@ class TestPyJitFallback:
         assert cache.stats.fallbacks == 1
 
     def test_make_engine_wraps_pyjit_in_fallback_chain(self):
+        from repro.guard import GuardedEngine
+
         eng = make_engine("pyjit")
-        # composition order: Partitioned(Resilient(pyjit -> interpreted))
-        assert isinstance(eng, PartitionedEngine)
-        assert isinstance(eng._inner, ResilientEngine)
+        # composition order: Guard(Partitioned(Resilient(pyjit -> interpreted)))
+        assert isinstance(eng, GuardedEngine)
+        assert isinstance(eng._inner, PartitionedEngine)
+        assert isinstance(eng._inner._inner, ResilientEngine)
         assert eng.name == "pyjit"  # chain reports the primary's name
 
     def test_strict_mode_returns_bare_engine(self, monkeypatch):
+        from repro.guard import GuardedEngine
+
         monkeypatch.setenv("PYGB_JIT_STRICT", "1")
         eng = make_engine("pyjit")
-        assert isinstance(eng, PartitionedEngine)
-        assert not isinstance(eng._inner, ResilientEngine)
+        assert isinstance(eng, GuardedEngine)
+        assert isinstance(eng._inner, PartitionedEngine)
+        assert not isinstance(eng._inner._inner, ResilientEngine)
 
     def test_strict_mode_raises_through_dsl(self, tmp_path, monkeypatch):
         monkeypatch.setenv("PYGB_JIT_STRICT", "1")

@@ -280,7 +280,7 @@ def test_many_tiles_and_single_worker(engine):
 
 
 class TestReduceMergeSemantics:
-    def test_int_reduce_partitions(self, engine):
+    def test_int_reduce_partitions(self, engine, no_faults):
         a = _mat(30)
         tiling.reset_stats()
         with gb.tiled(tiles=4, workers=2):
@@ -291,7 +291,7 @@ class TestReduceMergeSemantics:
         with gb.tiled(tiles=1):
             assert s == gb.reduce(a)
 
-    def test_float_min_reduce_partitions(self, engine):
+    def test_float_min_reduce_partitions(self, engine, no_faults):
         f = _mat(31, dtype=np.float64)
         tiling.reset_stats()
         with gb.tiled(tiles=4, workers=2), gb.MinMonoid:
@@ -336,7 +336,7 @@ class TestCounters:
             w[None] = a @ u
         return gb.reduce(a)
 
-    def test_counters_are_deterministic(self, engine):
+    def test_counters_are_deterministic(self, engine, no_faults):
         snaps = []
         for _ in range(2):
             tiling.reset_stats()
@@ -358,7 +358,7 @@ class TestCounters:
         assert st["tile_tasks"] == 0
         assert st["merges_total"] == 0
 
-    def test_partition_events_reach_stats_aggregator(self, engine):
+    def test_partition_events_reach_stats_aggregator(self, engine, no_faults):
         with gb.tracing() as tr:
             with gb.tiled(tiles=4, workers=2):
                 self._workload()
