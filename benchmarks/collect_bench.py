@@ -294,9 +294,77 @@ def _guard_metrics() -> dict:
     }
 
 
+def _catalog_metrics() -> dict:
+    """Deterministic AOT-catalog counters: bake a ``.py``-flavour pack
+    (no toolchain needed, so the numbers are machine-independent), then
+    run PageRank in a cold child process — fresh ``PYGB_CACHE_DIR`` —
+    once under ``PYGB_CATALOG`` and once without.
+
+    The catalog run's compile and miss counts must be **zero** (baseline
+    0 gates them hard: any new kernel the enumeration misses fails the
+    trajectory leg, the cold-start analog of precompile's drift guard)
+    and its hit count is the exact number of distinct specs the workload
+    dispatches.  Bit-identity between the two runs is an invariant,
+    asserted rather than tracked."""
+    import hashlib
+    import subprocess
+    import sys
+    import tempfile
+
+    from repro.jit.catalog import bake_catalog
+
+    pack = tempfile.mkdtemp(prefix="pygb-bench-pack-")
+    report = bake_catalog(pack, include_cpp=False)
+    assert report["failed"] == [], f"pack bake failed: {report['failed'][:3]}"
+
+    child = (
+        "import hashlib, json, sys\n"
+        "import repro as gb\n"
+        "from repro.algorithms import pagerank\n"
+        "from repro.io.generators import erdos_renyi\n"
+        "from repro.jit.cache import cache_statistics\n"
+        f"n = {PAGERANK_N}\n"
+        "with gb.use_engine('pyjit'), gb.tiled(tiles=1):\n"
+        "    g = erdos_renyi(n, seed=7, weighted=True, dtype=float)\n"
+        "    pr = gb.Vector(shape=(n,), dtype=float)\n"
+        "    pagerank(g, pr, threshold=1.0e-8)\n"
+        "    data = pr.to_numpy().tobytes()\n"
+        "snap = cache_statistics()\n"
+        "json.dump({'digest': hashlib.sha256(data).hexdigest(),\n"
+        "           'compiles': snap['compiles'],\n"
+        "           'catalog_hits': snap['catalog_hits'],\n"
+        "           'catalog_misses': snap['catalog_misses']}, sys.stdout)\n"
+    )
+
+    def run(with_pack: bool) -> dict:
+        env = {**os.environ,
+               "PYGB_CACHE_DIR": tempfile.mkdtemp(prefix="pygb-bench-cold-"),
+               "PYGB_SCHEDULE_TUNER": "0",
+               "PYTHONPATH": str(REPO_ROOT / "src")}
+        if with_pack:
+            env["PYGB_CATALOG"] = pack
+        else:
+            env.pop("PYGB_CATALOG", None)
+        out = subprocess.run([sys.executable, "-c", child],
+                             capture_output=True, text=True, env=env, check=True)
+        return json.loads(out.stdout)
+
+    catalog = run(with_pack=True)
+    plain = run(with_pack=False)
+    assert catalog["digest"] == plain["digest"], (
+        "catalog-served PageRank diverged from the JIT-compiled run"
+    )
+    assert catalog["catalog_hits"] > 0, "catalog run served no catalog hits"
+    return {
+        "catalog.pagerank.compiles": catalog["compiles"],
+        "catalog.pagerank.catalog_misses": catalog["catalog_misses"],
+        "catalog.pagerank.catalog_hits": catalog["catalog_hits"],
+    }
+
+
 def _timing_sections() -> dict:
     timings = {}
-    for name in ("fusion", "overhead"):
+    for name in ("fusion", "overhead", "cold_start"):
         path = RESULTS_DIR / f"{name}.json"
         if path.exists():
             timings[name] = json.loads(path.read_text())
@@ -319,6 +387,7 @@ def main(argv=None) -> int:
         metrics.update(_schedule_metrics())
     metrics.update(_tiled_metrics())
     metrics.update(_guard_metrics())
+    metrics.update(_catalog_metrics())
 
     doc = {
         "schema": 1,

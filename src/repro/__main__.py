@@ -10,6 +10,7 @@
     python -m repro components graph.mtx       # assumes symmetric input
     python -m repro engines                    # available execution engines
     python -m repro precompile                 # pre-build the C++ kernel cache
+    python -m repro bake --out pack/           # bake a redistributable kernel pack
     python -m repro doctor                     # JIT runtime health report
     python -m repro stats                      # per-op profile from traced runs
 
@@ -164,6 +165,57 @@ def cmd_precompile(args) -> int:
     return 0
 
 
+def cmd_bake(args) -> int:
+    from .jit.catalog import bake_catalog, validate_catalog
+    from .jit.cppengine import compiler_available, find_cxx_compiler, openmp_available
+
+    if compiler_available():
+        cxx = find_cxx_compiler()
+        print(f"compiler: {cxx}")
+        print(f"OpenMP:   {'yes' if openmp_available(cxx) else 'no (serial kernels)'}")
+    else:
+        print("no C++ toolchain on PATH — baking the .py kernel flavour only")
+    parallel = None
+    if args.serial:
+        parallel = False
+    elif args.parallel:
+        parallel = True
+    report = bake_catalog(args.out, parallel=parallel, max_workers=args.jobs)
+    flavour = "parallel" if report["parallel"] else "serial"
+    print(
+        f"baked {report['entries']} catalog entries "
+        f"({report['cpp_entries']} compiled .so [{flavour}], "
+        f"{report['py_entries']} generated .py) into {report['out']} with "
+        f"{report['jobs']} concurrent jobs in {report['seconds']:.2f}s"
+    )
+    print(
+        f"coverage: {report['requested']} specs requested — "
+        f"{report['compiled']} built now, {report['disk_hits']} already in the pack, "
+        f"{len(report['failed'])} failed"
+    )
+    if report["cpp_skipped"]:
+        print(f"cpp flavour skipped: {report['cpp_skipped']}")
+    for key, err in report["failed"]:
+        print(f"FAILED {key}: {err}", file=sys.stderr)
+    # round-trip: re-read the pack exactly the way a consumer process will
+    check = validate_catalog(args.out)
+    print(
+        f"validation: {check['ok']}/{check['entries']} entries verify "
+        f"({len(check['bad'])} bad)"
+    )
+    for key in check["bad"]:
+        print(f"BAD CHECKSUM {key}", file=sys.stderr)
+    if report["failed"] or check["bad"]:
+        print(
+            f"error: pack at {report['out']} is incomplete "
+            "(failed builds or bad checksums above)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"use it with: PYGB_CATALOG={report['out']}")
+    return 0
+
+
 def cmd_doctor(args) -> int:
     from .jit.cache import CACHE_FORMAT_VERSION, default_cache
     from .jit.cppengine import (
@@ -218,9 +270,25 @@ def cmd_doctor(args) -> int:
         f"{tstats['tile_tasks']} tile tasks, "
         f"{tstats['tiles_created']} tiles created"
     )
+    catalog_env = os.environ.get("PYGB_CATALOG")
+    if cache.catalog is not None:
+        print(
+            f"catalog:         {cache.catalog.root} "
+            f"({len(cache.catalog)} entries, "
+            f"{'parallel' if cache.catalog.parallel else 'serial'} cpp flavour)"
+        )
+    elif cache.catalog_error:
+        print(f"catalog:         REJECTED — {cache.catalog_error}")
+    else:
+        print(
+            f"catalog:         none attached "
+            f"(PYGB_CATALOG={catalog_env or 'unset'}; bake one with "
+            "`python -m repro bake`)"
+        )
     snap = cache.stats.snapshot()
     print(
         f"cache activity:  {snap['memory_hits']} memory hits, "
+        f"{snap['catalog_hits']} catalog hits, "
         f"{snap['disk_hits']} disk hits, {snap['compiles']} compiles"
     )
     print(
@@ -388,6 +456,29 @@ def main(argv=None) -> int:
         help="warm serial kernels even when OpenMP is available",
     )
     p.set_defaults(fn=cmd_precompile)
+
+    p = sub.add_parser(
+        "bake",
+        help="bake a redistributable AOT kernel pack (catalog.json + artifacts)",
+    )
+    p.add_argument(
+        "--out", default="pygb_catalog",
+        help="pack output directory (default: ./pygb_catalog)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="concurrent compile jobs (default: $PYGB_COMPILE_JOBS or auto)",
+    )
+    flavour = p.add_mutually_exclusive_group()
+    flavour.add_argument(
+        "--parallel", action="store_true",
+        help="bake OpenMP cpp kernels even when the engine default is serial",
+    )
+    flavour.add_argument(
+        "--serial", action="store_true",
+        help="bake serial cpp kernels even when OpenMP is available",
+    )
+    p.set_defaults(fn=cmd_bake)
 
     p = sub.add_parser(
         "doctor",

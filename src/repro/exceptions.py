@@ -95,6 +95,13 @@ class OperationCancelled(_GuardrailError):
     :class:`OperationTimeout` with the budget attached."""
 
 
+class CatalogError(GraphBLASError):
+    """A pre-built kernel catalog could not be used: missing or garbled
+    ``catalog.json``, or version stamps from an incompatible library
+    (stale catalogs are rejected wholesale — individual entries never
+    load from a pack whose codegen/cache-format versions mismatch)."""
+
+
 class JitFallbackWarning(UserWarning):
     """The JIT runtime degraded gracefully: a compile/load failure sent a
     kernel to the next engine in the fallback chain, or the cache

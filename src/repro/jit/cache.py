@@ -70,17 +70,35 @@ _FORMAT_STAMP = "CACHE_FORMAT"
 _TMP_GRACE_SECONDS = 3600.0
 
 
+#: warn about a bad $PYGB_COMPILE_JOBS once per process, like the other
+#: env knobs (tiling, schedule) — not once per precompile call
+_jobs_env_warned = False
+
+
 def default_compile_jobs() -> int:
     """Worker count for parallel compilation: ``$PYGB_COMPILE_JOBS``, else
     a small multiple of the core count (``g++`` is subprocess-bound, so a
-    little oversubscription hides process-spawn latency)."""
+    little oversubscription hides process-spawn latency).  An unparseable
+    or non-positive value warns once and falls back to the default —
+    ``0`` means "you pick", not "one worker"."""
+    global _jobs_env_warned
+    default = max(2, min(8, 2 * (os.cpu_count() or 1)))
     env = os.environ.get("PYGB_COMPILE_JOBS")
     if env:
         try:
-            return max(1, int(env))
+            n = int(env)
         except ValueError:
-            pass
-    return max(2, min(8, 2 * (os.cpu_count() or 1)))
+            n = None
+        if n is not None and n >= 1:
+            return n
+        if not _jobs_env_warned:
+            _jobs_env_warned = True
+            warnings.warn(
+                f"pygb: bad $PYGB_COMPILE_JOBS={env!r} (valid: integer >= 1); "
+                f"using {default}",
+                stacklevel=2,
+            )
+    return default
 
 
 @dataclass
@@ -91,6 +109,10 @@ class CacheStatistics:
     memory_hits: int = 0
     disk_hits: int = 0
     compiles: int = 0
+    #: lookups served from an attached AOT kernel pack (jit/catalog.py)
+    catalog_hits: int = 0
+    #: lookups that consulted an attached pack and fell through
+    catalog_misses: int = 0
     generate_seconds: float = 0.0
     compile_seconds: float = 0.0
     import_seconds: float = 0.0
@@ -109,6 +131,8 @@ class CacheStatistics:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "compiles": self.compiles,
+            "catalog_hits": self.catalog_hits,
+            "catalog_misses": self.catalog_misses,
             "generate_seconds": self.generate_seconds,
             "compile_seconds": self.compile_seconds,
             "import_seconds": self.import_seconds,
@@ -121,6 +145,7 @@ class CacheStatistics:
 
     def reset(self) -> None:
         self.memory_hits = self.disk_hits = self.compiles = 0
+        self.catalog_hits = self.catalog_misses = 0
         self.generate_seconds = self.compile_seconds = self.import_seconds = 0.0
         self.per_func.clear()
         self.jit_failures = self.fallbacks = 0
@@ -168,6 +193,38 @@ class JitCache:
         self._key_locks: dict[tuple[str, str], threading.Lock] = {}
         self._check_format_stamp()
         self.stats.tmp_swept = self._sweep_orphaned_tmp()
+        #: AOT kernel pack consulted between the memory and disk tiers
+        #: (jit/catalog.py); None when no pack is attached
+        self.catalog = None
+        #: why $PYGB_CATALOG could not be attached, for `repro doctor`
+        self.catalog_error: str | None = None
+        env_pack = os.environ.get("PYGB_CATALOG")
+        if env_pack:
+            self._attach_catalog_env(env_pack)
+
+    def attach_catalog(self, catalog) -> None:
+        """Install *catalog* (a :class:`~repro.jit.catalog.KernelCatalog`)
+        as this cache's pack tier; ``None`` detaches."""
+        self.catalog = catalog
+        self.catalog_error = None
+
+    def _attach_catalog_env(self, path: str) -> None:
+        """$PYGB_CATALOG attach: a missing/garbled/stale pack degrades to
+        a warning (the process runs on the normal compile path) instead
+        of failing at import time; ``repro doctor`` surfaces the reason."""
+        from ..exceptions import CatalogError
+
+        from .catalog import KernelCatalog  # late: catalog imports this module
+
+        try:
+            self.catalog = KernelCatalog.load(path)
+        except CatalogError as exc:
+            self.catalog_error = str(exc)
+            warnings.warn(
+                f"pygb: ignoring $PYGB_CATALOG: {exc}",
+                JitFallbackWarning,
+                stacklevel=4,
+            )
 
     # ------------------------------------------------------------------
     # directory preparation (relocation, format stamp, tmp sweep)
@@ -308,6 +365,11 @@ class JitCache:
             self.stats.integrity_rebuilds += 1
         if obs.ACTIVE:
             obs.record_event("integrity_rebuild", "cache", spec=spec.key, kind=kind)
+        if self.catalog is not None:
+            # the pack artifact itself is never deleted (packs may be
+            # read-only); quarantining the entry makes the next lookup
+            # fall through to a fresh compile instead
+            self.catalog.quarantine(spec.key_hash, kind)
         self._discard_artifact(self.cache_dir / f"{spec.module_stem}{kind}")
 
     # ------------------------------------------------------------------
@@ -324,6 +386,49 @@ class JitCache:
         of the *same* spec while it generates/compiles; other specs
         proceed concurrently.
         """
+        return self._get_module(spec, generate, suffix, compiler)[0]
+
+    def _try_catalog(self, spec: KernelSpec, kind: str, compiler):
+        """The pack tier: the entry's artifact served straight from the
+        catalog directory (no copy — packs may be read-only).  Returns
+        the loaded module or ``None`` to fall through to disk/compile.
+        Only consulted (and only counted) when a catalog is attached."""
+        entry = self.catalog.entry(spec.key_hash, kind)
+        mod = None
+        reason = "absent"
+        if entry is not None:
+            if self.catalog.verify(entry):
+                path = self.catalog.artifact_path(entry)
+                if compiler is not None:
+                    mod = path  # engines wrap the .so path in ctypes themselves
+                else:
+                    try:
+                        mod = self._import_py(path, spec)
+                    except CompilationError:
+                        # quarantine, fall through to the normal build
+                        self.catalog.quarantine(spec.key_hash, kind)
+                        reason = "import_failed"
+            else:
+                reason = "checksum"
+        with self._lock:
+            if mod is not None:
+                self.stats.catalog_hits += 1
+            else:
+                self.stats.catalog_misses += 1
+        if obs.ACTIVE:
+            if mod is not None:
+                obs.record_event("catalog_hit", "cache", spec=spec.key, kind=kind)
+            else:
+                obs.record_event(
+                    "catalog_miss", "cache", spec=spec.key, kind=kind, reason=reason
+                )
+        return mod
+
+    def _get_module(self, spec: KernelSpec, generate, suffix: str = ".py", compiler=None):
+        """:meth:`get_module` plus the lookup outcome — ``(module, one of
+        "memory" | "catalog" | "disk" | "compiled")`` — so
+        :meth:`precompile` can attribute results to its own jobs instead
+        of diffing the global counters."""
         # the same spec may exist as a Python module AND a compiled shared
         # object (the engines share one cache), so the artifact kind is
         # part of the memory key
@@ -335,7 +440,7 @@ class JitCache:
                 self.stats.memory_hits += 1
                 if obs.ACTIVE:
                     obs.record_event("memory_hit", "cache", spec=spec.key, kind=kind)
-                return mod
+                return mod, "memory"
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
             # a racer on the same spec may have built it while we waited
@@ -345,7 +450,14 @@ class JitCache:
                     self.stats.memory_hits += 1
                     if obs.ACTIVE:
                         obs.record_event("memory_hit", "cache", spec=spec.key, kind=kind)
-                    return mod
+                    return mod, "memory"
+            if self.catalog is not None:
+                mod = self._try_catalog(spec, kind, compiler)
+                if mod is not None:
+                    with self._lock:
+                        self._modules[key] = mod
+                        self._key_locks.pop(key, None)
+                    return mod, "catalog"
             artifact = self.cache_dir / f"{spec.module_stem}{kind}"
 
             def build() -> None:
@@ -424,7 +536,13 @@ class JitCache:
             with self._lock:
                 self.stats.import_seconds += import_s
                 self._modules[key] = mod
-            return mod
+                # once the module is resident every future lookup returns
+                # from the memory tier above, so the per-key lock has done
+                # its job — drop it (a long-running service dispatches
+                # unboundedly many distinct specs; bake enumerates
+                # hundreds in one process)
+                self._key_locks.pop(key, None)
+            return mod, ("compiled" if built_now else "disk")
 
     # ------------------------------------------------------------------
     def precompile(self, jobs, max_workers: int | None = None) -> dict:
@@ -436,31 +554,40 @@ class JitCache:
         rebuilds) on a thread pool; per-spec locking means distinct specs
         really do compile in parallel.  Failures are collected, not
         raised.  Returns a report dict.
+
+        The report counts the outcome of each *submitted job* — not
+        global-counter deltas, which concurrent foreground dispatch on
+        other threads would inflate.
         """
+        outcome_keys = {
+            "compiled": "compiled",
+            "disk": "disk_hits",
+            "memory": "memory_hits",
+            "catalog": "catalog_hits",
+        }
         jobs = list(jobs)
         workers = max_workers if max_workers else default_compile_jobs()
         workers = max(1, min(workers, len(jobs)) if jobs else 1)
-        before = self.stats.snapshot()
+        counts = {k: 0 for k in outcome_keys.values()}
         failed: list[tuple[str, str]] = []
         t0 = time.perf_counter()
         if jobs:
             with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="pygb-jit") as pool:
                 futures = {
-                    pool.submit(self.get_module, spec, generate, suffix, compiler): spec
+                    pool.submit(self._get_module, spec, generate, suffix, compiler): spec
                     for spec, generate, suffix, compiler in jobs
                 }
                 for fut in as_completed(futures):
                     spec = futures[fut]
                     try:
-                        fut.result()
+                        _, outcome = fut.result()
                     except Exception as exc:  # report, keep building the rest
                         failed.append((spec.key, str(exc)))
-        after = self.stats.snapshot()
+                    else:
+                        counts[outcome_keys[outcome]] += 1
         return {
             "requested": len(jobs),
-            "compiled": after["compiles"] - before["compiles"],
-            "disk_hits": after["disk_hits"] - before["disk_hits"],
-            "memory_hits": after["memory_hits"] - before["memory_hits"],
+            **counts,
             "failed": failed,
             "seconds": time.perf_counter() - t0,
             "jobs": workers,

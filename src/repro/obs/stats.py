@@ -327,16 +327,22 @@ def render_stats(data: dict, cache_stats: dict | None = None) -> str:
             f"marshalling/boundary)"
         )
     events = data.get("cache_events", {})
-    hits = events.get("memory_hit", 0) + events.get("disk_hit", 0)
+    hits = (events.get("memory_hit", 0) + events.get("catalog_hit", 0)
+            + events.get("disk_hit", 0))
+    catalog_hits = events.get("catalog_hit", 0)
     lookups = hits + events.get("compile", 0)
     if cache_stats is not None and lookups == 0:
         # the traced workload ran in this process: fall back to the live
         # cache counters
-        hits = cache_stats.get("memory_hits", 0) + cache_stats.get("disk_hits", 0)
+        hits = (cache_stats.get("memory_hits", 0)
+                + cache_stats.get("catalog_hits", 0)
+                + cache_stats.get("disk_hits", 0))
+        catalog_hits = cache_stats.get("catalog_hits", 0)
         lookups = hits + cache_stats.get("compiles", 0)
     if lookups:
         lines.append(
             f"JIT cache: {hits}/{lookups} hits ({100.0 * hits / lookups:.1f}%), "
+            f"{catalog_hits} from catalog, "
             f"{events.get('compile', 0)} compiles, "
             f"{events.get('quarantine', 0)} quarantines, "
             f"{events.get('integrity_rebuild', 0)} integrity rebuilds"
