@@ -9,8 +9,10 @@ kinds of metrics land in the file:
   These are machine-independent, so ``check_regression.py`` gates them
   hard against ``benchmarks/bench_baseline.json``;
 * **timing** — wall-clock medians copied from
-  ``benchmarks/results/{fusion,overhead}.json`` when those files exist
-  (i.e. when ``bench_fusion.py`` / ``bench_overhead.py`` ran first).
+  ``benchmarks/results/{fusion,overhead,cold_start,service,service_batching}.json``
+  when those files exist (i.e. when ``bench_fusion.py`` /
+  ``bench_overhead.py`` / ``replay_harness.py`` / ``bench_service.py``
+  ran first).
   Machine-dependent, recorded for trajectory plots, never gated.
 
 Usage::
@@ -362,9 +364,74 @@ def _catalog_metrics() -> dict:
     }
 
 
+def _service_metrics() -> dict:
+    """Deterministic admission-control counters for the graph service.
+
+    A fixed 12-request mix (6 bfs sources + 4 sssp sources + 2 pagerank)
+    is parked in a held admission queue and released as one deterministic
+    wave, so the batch structure depends only on the mix: one fused
+    6-source bfs batch, one fused 4-source sssp batch, one deduplicated
+    pagerank batch.  Counts gate hard — ``batches`` grows if fusion stops
+    merging, ``solo_batches`` leaves zero if requests start executing
+    individually, and ``errors``/``timeouts`` leave zero if any admitted
+    request fails.  Bit-identity of every batched response with its
+    direct solo run is an invariant, asserted rather than tracked.
+    """
+    import json as _json
+
+    from repro import service
+    from repro.service import AdmissionController, GraphRegistry
+    from repro.service.admission import solo_reference
+    from repro.service.protocol import parse_request
+
+    graph = erdos_renyi(PAGERANK_N, seed=7, weighted=True, dtype=float)
+    registry = GraphRegistry()
+    registry.add("er", graph)
+
+    reqs = (
+        [{"op": "run", "graph": "er", "algorithm": "bfs", "source": s}
+         for s in (0, 11, 42, 97, 3, 55)]
+        + [{"op": "run", "graph": "er", "algorithm": "sssp", "source": s}
+           for s in (7, 19, 63, 120)]
+        + [{"op": "run", "graph": "er", "algorithm": "pagerank"}] * 2
+    )
+
+    service.reset_stats()
+    controller = AdmissionController(registry)
+    try:
+        with controller.hold():
+            pendings = [
+                controller.submit(parse_request(_json.dumps(r))["request"])
+                for r in reqs
+            ]
+        responses = [p.wait(timeout=300.0) for p in pendings]
+    finally:
+        controller.close()
+    counters = service.stats()
+
+    for req, resp in zip(reqs, responses):
+        assert resp.get("ok"), f"service request failed: {req} -> {resp}"
+        oracle = solo_reference(graph, "er", req["algorithm"], req.get("source"), {})
+        assert (_json.dumps(resp["result"], sort_keys=True)
+                == _json.dumps(oracle, sort_keys=True)), (
+            f"batched response diverged from its solo run: {req}"
+        )
+    assert counters["fused_runs"] == 2 and counters["fused_sources"] == 10, (
+        f"expected the 6-source bfs and 4-source sssp batches to fuse, "
+        f"got {counters}"
+    )
+    return {
+        "service.replay.requests": counters["requests"],
+        "service.replay.batches": counters["batches"],
+        "service.replay.solo_batches": counters["batch_hist"]["1"],
+        "service.replay.errors": counters["errors"],
+        "service.replay.timeouts": counters["timeouts"],
+    }
+
+
 def _timing_sections() -> dict:
     timings = {}
-    for name in ("fusion", "overhead", "cold_start"):
+    for name in ("fusion", "overhead", "cold_start", "service", "service_batching"):
         path = RESULTS_DIR / f"{name}.json"
         if path.exists():
             timings[name] = json.loads(path.read_text())
@@ -388,6 +455,7 @@ def main(argv=None) -> int:
     metrics.update(_tiled_metrics())
     metrics.update(_guard_metrics())
     metrics.update(_catalog_metrics())
+    metrics.update(_service_metrics())
 
     doc = {
         "schema": 1,

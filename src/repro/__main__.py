@@ -13,6 +13,7 @@
     python -m repro bake --out pack/           # bake a redistributable kernel pack
     python -m repro doctor                     # JIT runtime health report
     python -m repro stats                      # per-op profile from traced runs
+    python -m repro serve --graphs m.json      # multi-tenant graph query server
 
 Every command accepts ``--engine {interpreted,pyjit,cpp}``.
 """
@@ -216,6 +217,56 @@ def cmd_bake(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from . import service
+    from .service import GraphRegistry, GraphServer, load_manifest
+    from .service.admission import (
+        batch_max,
+        batch_window,
+        request_timeout,
+        serve_workers,
+    )
+    from .service.protocol import ALGORITHMS
+
+    if args.catalog:
+        os.environ["PYGB_CATALOG"] = args.catalog
+    registry = GraphRegistry()
+    if args.graphs:
+        load_manifest(args.graphs, registry)
+    if not len(registry):
+        print(
+            "warning: no graphs loaded — pass --graphs manifest.json "
+            "(every 'run' request will fail with unknown-graph)",
+            file=sys.stderr,
+        )
+    server = GraphServer(registry, host=args.host, port=args.port)
+    timeout = request_timeout()
+    print(f"pygb service on {server.host}:{server.port}")
+    print(f"graphs:     {', '.join(registry.names()) or 'none'}")
+    print(f"algorithms: {', '.join(sorted(ALGORITHMS))}")
+    print(
+        f"admission:  window {batch_window():g}s, batch max {batch_max()}, "
+        f"{serve_workers()} workers, request timeout "
+        f"{f'{timeout:g}s' if timeout else 'disabled'}"
+    )
+    print('try: echo \'{"op": "health"}\' | nc '
+          f"{server.host} {server.port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+        counters = service.stats()
+        print(
+            f"served {counters['requests']} requests in "
+            f"{counters['batches']} batches "
+            f"({counters['batched_requests']} batched, "
+            f"{counters['timeouts']} timeouts, {counters['errors']} errors)"
+        )
+    return 0
+
+
 def cmd_doctor(args) -> int:
     from .jit.cache import CACHE_FORMAT_VERSION, default_cache
     from .jit.cppengine import (
@@ -342,6 +393,32 @@ def cmd_doctor(args) -> int:
             )
     else:
         print("quarantined tiling ops: none")
+    from . import service as _service
+    from .service.admission import (
+        batch_max as _batch_max,
+        batch_window as _batch_window,
+        request_timeout as _request_timeout,
+        serve_workers as _serve_workers,
+    )
+
+    rtimeout = _request_timeout()
+    print(
+        f"service:         batch window {_batch_window():g}s (PYGB_BATCH_WINDOW)   "
+        f"batch max {_batch_max()} (PYGB_BATCH_MAX)   "
+        f"workers {_serve_workers()} (PYGB_SERVE_WORKERS)   "
+        f"request timeout "
+        f"{f'{rtimeout:g}s' if rtimeout else 'disabled'} (PYGB_REQUEST_TIMEOUT)"
+    )
+    sstats = _service.stats()
+    print(
+        f"service activity: {sstats['requests']} requests, "
+        f"{sstats['batches']} batches "
+        f"({sstats['batched_requests']} batched, "
+        f"{sstats['fused_runs']} fused runs over {sstats['fused_sources']} sources), "
+        f"{sstats['timeouts']} timeouts, "
+        f"{sstats['errors'] + sstats['protocol_errors']} errors, "
+        f"{sstats['disconnects']} disconnects"
+    )
     from .obs.stats import default_stats_path, load_stats
 
     trace_env = os.environ.get("PYGB_TRACE")
@@ -479,6 +556,28 @@ def main(argv=None) -> int:
         help="bake serial cpp kernels even when OpenMP is available",
     )
     p.set_defaults(fn=cmd_bake)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve preloaded graphs to concurrent clients over line-JSON TCP",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8765,
+        help="port to bind (default: 8765; 0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--graphs", default=None, metavar="MANIFEST",
+        help="JSON manifest of graphs to preload (paths or generators)",
+    )
+    p.add_argument(
+        "--catalog", default=None, metavar="PACK",
+        help="AOT kernel pack to attach (sets PYGB_CATALOG)",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "doctor",

@@ -17,6 +17,7 @@ components, Luby's maximal independent set, k-truss (built on
 
 from .bfs import bfs, bfs_levels, bfs_native
 from .sssp import sssp, sssp_converging, sssp_distances, sssp_native
+from .multisource import bfs_levels_multi, sssp_distances_multi
 from .pagerank import pagerank, pagerank_native
 from .triangle_count import lower_triangle, triangle_count, triangle_count_native
 from .connected_components import component_count, connected_components
@@ -32,6 +33,8 @@ __all__ = [
     "sssp_converging",
     "sssp_distances",
     "sssp_native",
+    "bfs_levels_multi",
+    "sssp_distances_multi",
     "pagerank",
     "pagerank_native",
     "triangle_count",

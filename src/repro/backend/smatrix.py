@@ -9,12 +9,20 @@ algorithms (BFS, SSSP) multiply by ``graph.T`` on every iteration.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..exceptions import DimensionMismatch, IndexOutOfBounds
 from ..types import normalize_dtype
 
 __all__ = ["SparseMatrix"]
+
+#: guards lazy memo construction (transpose, row lengths, degree stats)
+#: when server threads share one preloaded matrix.  Module-level to keep
+#: __slots__ instances light; reentrant because ``transposed`` builds
+#: through ``coo`` → ``row_lengths`` under the same lock.
+_MEMO_LOCK = threading.RLock()
 
 
 class SparseMatrix:
@@ -47,7 +55,8 @@ class SparseMatrix:
         self._transpose_cache: "SparseMatrix | None" = None
         # memoized degree statistics (row_lengths / degree_stats); like the
         # transpose cache these are safe because instances are immutable by
-        # convention, and like it they are never shared across copy/astype
+        # convention, never shared across copy/astype, and built under
+        # _MEMO_LOCK when concurrent server threads race the first touch
         self._lengths_cache: np.ndarray | None = None
         self._degree_stats_cache: tuple[int, int] | None = None
 
@@ -167,33 +176,45 @@ class SparseMatrix:
         iteration and the tile splitter on every partition decision, so
         the ``np.diff`` scan over ``indptr`` runs at most once per store.
         """
-        if self._lengths_cache is None:
-            lengths = np.diff(self.indptr)
-            lengths.flags.writeable = False
-            self._lengths_cache = lengths
-        return self._lengths_cache
+        lengths = self._lengths_cache
+        if lengths is None:
+            with _MEMO_LOCK:
+                lengths = self._lengths_cache
+                if lengths is None:
+                    lengths = np.diff(self.indptr)
+                    lengths.flags.writeable = False
+                    self._lengths_cache = lengths
+        return lengths
 
     def degree_stats(self) -> tuple[int, int]:
         """``(total_nnz, max_degree)``, memoized alongside row_lengths."""
-        if self._degree_stats_cache is None:
-            lengths = self.row_lengths()
-            self._degree_stats_cache = (
-                int(self.indptr[-1]) if self.indptr.size else 0,
-                int(lengths.max()) if lengths.size else 0,
-            )
-        return self._degree_stats_cache
+        stats = self._degree_stats_cache
+        if stats is None:
+            with _MEMO_LOCK:
+                stats = self._degree_stats_cache
+                if stats is None:
+                    lengths = self.row_lengths()
+                    stats = self._degree_stats_cache = (
+                        int(self.indptr[-1]) if self.indptr.size else 0,
+                        int(lengths.max()) if lengths.size else 0,
+                    )
+        return stats
 
     def transposed(self) -> "SparseMatrix":
         """CSR of the transpose (cached; shared immutable arrays)."""
-        if self._transpose_cache is None:
-            rows, cols, vals = self.coo()
-            order = np.lexsort((rows, cols))
-            t = SparseMatrix.from_coo_sorted(
-                self.ncols, self.nrows, cols[order], rows[order], vals[order]
-            )
-            t._transpose_cache = self
-            self._transpose_cache = t
-        return self._transpose_cache
+        t = self._transpose_cache
+        if t is None:
+            with _MEMO_LOCK:
+                t = self._transpose_cache
+                if t is None:
+                    rows, cols, vals = self.coo()
+                    order = np.lexsort((rows, cols))
+                    t = SparseMatrix.from_coo_sorted(
+                        self.ncols, self.nrows, cols[order], rows[order], vals[order]
+                    )
+                    t._transpose_cache = self
+                    self._transpose_cache = t
+        return t
 
     def row_vector(self, i: int):
         """Row *i* as a SparseVector of size ``ncols`` (zero-copy slices)."""

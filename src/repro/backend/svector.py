@@ -9,12 +9,20 @@ zeros* in the GraphBLAS sense: they do not participate in operations.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..exceptions import DimensionMismatch, IndexOutOfBounds
 from ..types import normalize_dtype
 
 __all__ = ["SparseVector"]
+
+#: guards lazy memo construction when server threads share one vector.
+#: Module-level (not per-instance) to keep __slots__ instances light —
+#: builds are rare, so contention is negligible; reentrant because
+#: ``true_bitmap`` builds via ``bool_indices`` under the same lock.
+_MEMO_LOCK = threading.RLock()
 
 
 class SparseVector:
@@ -132,19 +140,20 @@ class SparseVector:
         repeated dispatches against the same vector (engine fallback
         retries, multi-op iterations) scatter at most once."""
         zero_fill = isinstance(fill, (int, float, bool)) and fill == 0
+
+        def build():
+            vals = np.full(self.size, 0 if zero_fill else fill, dtype=self.dtype)
+            present = np.zeros(self.size, dtype=bool)
+            vals[self.indices] = self.values
+            present[self.indices] = True
+            if zero_fill:
+                vals.setflags(write=False)
+                present.setflags(write=False)
+            return vals, present
+
         if zero_fill:
-            cached = self._cached("dense")
-            if cached is not None:
-                return cached
-        vals = np.full(self.size, fill, dtype=self.dtype)
-        present = np.zeros(self.size, dtype=bool)
-        vals[self.indices] = self.values
-        present[self.indices] = True
-        if zero_fill:
-            vals.setflags(write=False)
-            present.setflags(write=False)
-            return self._memo("dense", (vals, present))
-        return vals, present
+            return self._memo("dense", build)
+        return build()
 
     def get(self, i: int, default=None):
         """Stored value at index *i*, or *default*."""
@@ -160,33 +169,43 @@ class SparseVector:
 
         Memoized (read-only): masks are consulted by both the schedule
         resolver and the write-back stage of the same dispatch."""
-        cached = self._cached("bool")
-        if cached is not None:
-            return cached
-        out = self.indices[self.values.astype(bool)]
-        out.setflags(write=False)
-        return self._memo("bool", out)
+        def build():
+            out = self.indices[self.values.astype(bool)]
+            out.setflags(write=False)
+            return out
+
+        return self._memo("bool", build)
 
     def true_bitmap(self) -> np.ndarray:
         """Dense boolean bitmap of the true-valued entries — the schedule
         layer's dense frontier representation (memoized, read-only)."""
-        cached = self._cached("bitmap")
-        if cached is not None:
-            return cached
-        bitmap = np.zeros(self.size, dtype=bool)
-        bitmap[self.bool_indices()] = True
-        bitmap.setflags(write=False)
-        return self._memo("bitmap", bitmap)
+        def build():
+            bitmap = np.zeros(self.size, dtype=bool)
+            bitmap[self.bool_indices()] = True
+            bitmap.setflags(write=False)
+            return bitmap
 
-    def _cached(self, key: str):
+        return self._memo("bitmap", build)
+
+    def _memo(self, key: str, build):
+        """Double-checked memoization: lock-free on a hit; on a miss,
+        *build* runs exactly once under the module lock.  Without the
+        lock, two server threads touching a shared vector could each
+        build the representation and one could publish into a dict the
+        other just replaced, losing the memo."""
         cache = self._repr_cache
-        return cache.get(key) if cache is not None else None
-
-    def _memo(self, key: str, value):
-        if self._repr_cache is None:
-            self._repr_cache = {}
-        self._repr_cache[key] = value
-        return value
+        if cache is not None:
+            value = cache.get(key)
+            if value is not None:
+                return value
+        with _MEMO_LOCK:
+            if self._repr_cache is None:
+                self._repr_cache = {}
+            value = self._repr_cache.get(key)
+            if value is None:
+                value = build()
+                self._repr_cache[key] = value
+            return value
 
     def astype(self, dtype) -> "SparseVector":
         dt = normalize_dtype(dtype)

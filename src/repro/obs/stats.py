@@ -59,6 +59,13 @@ class StatsAggregator:
         self.schedule: dict = {"directions": {}, "chosen_by": {}, "switches": 0}
         self.tiling: dict = {"partitioned": 0, "tile_tasks": 0, "forwarded": 0}
         self.guard: dict[str, int] = {}
+        self.service: dict = {
+            "requests": 0,
+            "batches": 0,
+            "batched_requests": 0,
+            "timeouts": 0,
+            "errors": 0,
+        }
 
     def note_span(self, name: str, cat: str, dur_ns: int, attrs: dict) -> None:
         bucket = min(max(int(dur_ns), 0).bit_length(), HIST_BUCKETS - 1)
@@ -107,6 +114,19 @@ class StatsAggregator:
             # guard.timeout / guard.cancel / guard.degrade / guard.quarantine
             with self._lock:
                 self.guard[name] = self.guard.get(name, 0) + 1
+        elif cat == "service":
+            with self._lock:
+                if name == "service.request":
+                    self.service["requests"] += 1
+                elif name == "service.batch":
+                    self.service["batches"] += 1
+                    size = int(attrs.get("size") or 0)
+                    if size > 1:
+                        self.service["batched_requests"] += size
+                elif name == "service.timeout":
+                    self.service["timeouts"] += int(attrs.get("size") or 1)
+                elif name == "service.error":
+                    self.service["errors"] += int(attrs.get("size") or 1)
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -131,6 +151,7 @@ class StatsAggregator:
                 },
                 "tiling": dict(self.tiling),
                 "guard": dict(self.guard),
+                "service": dict(self.service),
             }
 
 
@@ -227,6 +248,10 @@ def merge_stats(base: dict, extra: dict) -> dict:
     for key, n in extra.get("guard", {}).items():
         guard[key] = guard.get(key, 0) + n
     out["guard"] = guard
+    service = dict(base.get("service", {}))
+    for key, n in extra.get("service", {}).items():
+        service[key] = service.get(key, 0) + n
+    out["service"] = service
     return out
 
 
@@ -315,6 +340,15 @@ def render_stats(data: dict, cache_stats: dict | None = None) -> str:
             f"{guard.get('guard.cancel', 0)} cancellations, "
             f"{guard.get('guard.degrade', 0)} tiled-execution degrades, "
             f"{guard.get('guard.quarantine', 0)} tiling quarantines"
+        )
+    service = data.get("service", {})
+    if service.get("requests") or service.get("batches"):
+        lines.append(
+            f"graph service: {service.get('requests', 0)} requests in "
+            f"{service.get('batches', 0)} batches "
+            f"({service.get('batched_requests', 0)} batched), "
+            f"{service.get('timeouts', 0)} timeouts, "
+            f"{service.get('errors', 0)} errors"
         )
     ffi = data.get("ffi", {})
     if ffi.get("calls"):

@@ -1,0 +1,469 @@
+"""Admission control: the batching queue between protocol and engine.
+
+Every validated ``run`` request enters a keyed pending queue; a single
+dispatcher thread groups requests by :attr:`RunRequest.batch_key`
+(graph + algorithm + canonical params) and releases each group when its
+batch window closes or it reaches the batch cap.  Compatible requests
+then execute as **one** run on a worker thread:
+
+* source-parameterised algorithms (bfs, sssp) fuse k pending sources
+  into one multi-source traversal — k rows of one Matrix frontier
+  (:mod:`repro.algorithms.multisource`), demultiplexed per client;
+* whole-graph algorithms (pagerank, components, triangles) deduplicate —
+  one execution, every waiting client gets the same payload.
+
+Each batch runs under a per-request execution context: a fresh
+nonblocking scope (its statements batch through the lazy queue and flush
+on observation, isolated per worker thread) inside a ``gb.deadline``
+budget when ``$PYGB_REQUEST_TIMEOUT`` is set.  A blown budget surfaces
+as a structured ``timeout`` error on every request of the batch — the
+connection stays up.
+
+``hold()`` pauses the dispatcher so tests, the replay harness, and the
+bench collector can park a known set of requests and release them as one
+deterministic batch (batch sizes are otherwise timing-dependent).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from .. import obs
+from ..core.nonblocking import nonblocking
+from ..exceptions import GraphBLASError, OperationCancelled, OperationTimeout
+from ..guard import deadline
+from .protocol import ProtocolError, error_response, ok_response
+from .registry import GraphRegistry
+
+__all__ = [
+    "AdmissionController",
+    "request_timeout",
+    "batch_window",
+    "batch_max",
+    "serve_workers",
+    "solo_reference",
+    "run_requests",
+]
+
+_FALSEY = frozenset({"0", "false", "off", "no"})
+
+DEFAULT_BATCH_WINDOW = 0.005
+DEFAULT_BATCH_MAX = 16
+DEFAULT_SERVE_WORKERS = 2
+
+
+def _env_float(name: str, default, minimum: float):
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return default
+    if raw in _FALSEY:
+        return None
+    try:
+        v = float(raw)
+        if v < minimum:
+            raise ValueError
+    except ValueError:
+        warnings.warn(
+            f"pygb: bad ${name}={raw!r} (valid: number >= {minimum:g}); "
+            f"using the default",
+            stacklevel=2,
+        )
+        return default
+    return v
+
+
+def request_timeout() -> float | None:
+    """Per-request wall-clock budget from ``$PYGB_REQUEST_TIMEOUT`` in
+    seconds (unset/falsey disables; re-read per batch)."""
+    return _env_float("PYGB_REQUEST_TIMEOUT", None, 1e-9)
+
+
+def batch_window() -> float:
+    """How long the dispatcher keeps a batch open for more compatible
+    requests after the first arrives (``$PYGB_BATCH_WINDOW`` seconds,
+    default 5 ms; 0 dispatches immediately)."""
+    v = _env_float("PYGB_BATCH_WINDOW", DEFAULT_BATCH_WINDOW, 0.0)
+    return 0.0 if v is None else v
+
+
+def batch_max() -> int:
+    """Most requests one batch may fuse (``$PYGB_BATCH_MAX``, default 16)."""
+    raw = os.environ.get("PYGB_BATCH_MAX", "").strip()
+    if not raw:
+        return DEFAULT_BATCH_MAX
+    try:
+        v = int(raw)
+        if v < 1:
+            raise ValueError
+    except ValueError:
+        warnings.warn(
+            f"pygb: bad $PYGB_BATCH_MAX={raw!r} (valid: integer >= 1); "
+            f"using {DEFAULT_BATCH_MAX}",
+            stacklevel=2,
+        )
+        return DEFAULT_BATCH_MAX
+    return v
+
+
+def serve_workers() -> int:
+    """Worker threads executing admitted batches (``$PYGB_SERVE_WORKERS``,
+    default 2)."""
+    raw = os.environ.get("PYGB_SERVE_WORKERS", "").strip()
+    if not raw:
+        return DEFAULT_SERVE_WORKERS
+    try:
+        v = int(raw)
+        if v < 1:
+            raise ValueError
+    except ValueError:
+        warnings.warn(
+            f"pygb: bad $PYGB_SERVE_WORKERS={raw!r} (valid: integer >= 1); "
+            f"using {DEFAULT_SERVE_WORKERS}",
+            stacklevel=2,
+        )
+        return DEFAULT_SERVE_WORKERS
+    return v
+
+
+# ----------------------------------------------------------------------
+# algorithm execution (shared by the service and the test oracles)
+# ----------------------------------------------------------------------
+
+
+def _coo_result(algorithm: str, graph_name: str, indices, values, source=None) -> dict:
+    vals = np.asarray(values)
+    out_values = (
+        [int(v) for v in vals.tolist()]
+        if np.issubdtype(vals.dtype, np.integer)
+        else vals.tolist()
+    )
+    result = {
+        "algorithm": algorithm,
+        "graph": graph_name,
+        "nvals": int(len(out_values)),
+        "indices": [int(i) for i in np.asarray(indices).tolist()],
+        "values": out_values,
+    }
+    if source is not None:
+        result["source"] = int(source)
+    return result
+
+
+def _run_whole(graph, graph_name: str, algorithm: str, params: dict) -> dict:
+    from .. import core
+    from ..algorithms import (
+        connected_components,
+        lower_triangle,
+        pagerank,
+        triangle_count,
+    )
+
+    if algorithm == "pagerank":
+        ranks = core.Vector(shape=(graph.nrows,), dtype=float)
+        pagerank(
+            graph,
+            ranks,
+            damping_factor=params.get("damping", 0.85),
+            threshold=params.get("tol", 1.0e-8),
+            max_iters=params.get("max_iters", 100000),
+        )
+        return {
+            "algorithm": "pagerank",
+            "graph": graph_name,
+            "ranks": ranks.to_numpy().tolist(),
+        }
+    if algorithm == "components":
+        labels = connected_components(graph)
+        idx, vals = labels.to_coo()
+        return _coo_result("components", graph_name, idx, vals)
+    if algorithm == "triangles":
+        count = triangle_count(lower_triangle(graph))
+        return {"algorithm": "triangles", "graph": graph_name, "count": int(count)}
+    raise ProtocolError("unknown-algorithm", f"unknown algorithm {algorithm!r}")
+
+
+def run_requests(graph, graph_name: str, algorithm: str, params: dict, sources) -> list[dict]:
+    """Execute one admitted batch: *sources* is the per-request source
+    list for fusable algorithms (``[None]*k`` for whole-graph ones).
+    Returns one result dict per request, in order."""
+    from ..algorithms.multisource import bfs_levels_multi, matrix_row, sssp_distances_multi
+
+    if algorithm in ("bfs", "sssp"):
+        runner = bfs_levels_multi if algorithm == "bfs" else sssp_distances_multi
+        fused = runner(graph, sources)
+        results = []
+        for row, source in enumerate(sources):
+            idx, vals = matrix_row(fused, row)
+            results.append(_coo_result(algorithm, graph_name, idx, vals, source))
+        return results
+    shared = _run_whole(graph, graph_name, algorithm, params)
+    return [shared] * len(sources)
+
+
+def solo_reference(graph, graph_name: str, algorithm: str, source, params: dict) -> dict:
+    """The oracle: run one request through the public **single-source**
+    algorithm API, no service machinery.  The replay harness and the
+    protocol tests compare every batched response against this — fusion
+    must be invisible, bit for bit."""
+    from ..algorithms import bfs_levels, sssp_distances
+
+    if algorithm == "bfs":
+        levels = bfs_levels(graph, int(source))
+        idx, vals = levels.to_coo()
+        return _coo_result("bfs", graph_name, idx, vals, source)
+    if algorithm == "sssp":
+        dist = sssp_distances(graph, int(source))
+        idx, vals = dist.to_coo()
+        return _coo_result("sssp", graph_name, idx, vals, source)
+    return _run_whole(graph, graph_name, algorithm, params)
+
+
+# ----------------------------------------------------------------------
+# the pending queue
+# ----------------------------------------------------------------------
+
+
+class _Pending:
+    """One admitted request waiting for its batch to execute."""
+
+    __slots__ = ("request", "event", "response")
+
+    def __init__(self, request):
+        self.request = request
+        self.event = threading.Event()
+        self.response: dict | None = None
+
+    def resolve(self, response: dict) -> None:
+        self.response = response
+        self.event.set()
+
+    def wait(self, timeout: float | None = None) -> dict:
+        if not self.event.wait(timeout):
+            return error_response(
+                self.request.id, "timeout",
+                "the service did not produce a response in time",
+            )
+        return self.response
+
+
+class _Group:
+    """Pending requests sharing one batch key, oldest first."""
+
+    __slots__ = ("key", "first_at", "pendings")
+
+    def __init__(self, key, now: float):
+        self.key = key
+        self.first_at = now
+        self.pendings: list[_Pending] = []
+
+
+class AdmissionController:
+    """The batching queue.  ``submit()`` is called from connection
+    handler threads; one dispatcher thread forms batches; a small worker
+    pool executes them."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        window: float | None = None,
+        max_batch: int | None = None,
+        workers: int | None = None,
+    ):
+        self.registry = registry
+        self._window = window
+        self._max_batch = max_batch
+        self._cond = threading.Condition()
+        self._groups: dict[tuple, _Group] = {}
+        self._held = 0
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers if workers is not None else serve_workers(),
+            thread_name_prefix="pygb-serve",
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="pygb-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- configuration (constructor overrides win over the env) --------
+    def window(self) -> float:
+        return self._window if self._window is not None else batch_window()
+
+    def max_batch(self) -> int:
+        return self._max_batch if self._max_batch is not None else batch_max()
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def hold(self):
+        """Pause batch dispatch for the block — submitted requests park
+        in the queue and release as deterministic batches on exit."""
+        with self._cond:
+            self._held += 1
+        try:
+            yield self
+        finally:
+            with self._cond:
+                self._held -= 1
+                self._cond.notify_all()
+
+    def submit(self, request) -> _Pending:
+        """Admit a validated :class:`RunRequest`; returns the pending
+        slot its connection thread waits on."""
+        from . import note_request
+
+        if self.registry.get(request.graph) is None:
+            raise ProtocolError(
+                "unknown-graph",
+                f"unknown graph {request.graph!r} "
+                f"(loaded: {', '.join(self.registry.names()) or 'none'})",
+            )
+        source = request.source
+        if source is not None:
+            n = self.registry.get(request.graph).nrows
+            if not 0 <= int(source) < n:
+                raise ProtocolError(
+                    "bad-source",
+                    f"source {source} out of range for {n} vertices",
+                )
+        pending = _Pending(request)
+        with self._cond:
+            if self._closed:
+                raise ProtocolError("shutting-down", "the service is shutting down")
+            group = self._groups.get(request.batch_key)
+            if group is None:
+                group = self._groups[request.batch_key] = _Group(
+                    request.batch_key, time.monotonic()
+                )
+            group.pendings.append(pending)
+            self._cond.notify_all()
+        note_request(request.graph, request.algorithm)
+        if obs.ACTIVE:
+            obs.record_event(
+                "service.request", "service",
+                graph=request.graph, algorithm=request.algorithm,
+            )
+        return pending
+
+    def close(self) -> None:
+        """Stop the dispatcher and fail any still-parked requests."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            leftovers = [p for g in self._groups.values() for p in g.pendings]
+            self._groups.clear()
+            self._cond.notify_all()
+        for pending in leftovers:
+            pending.resolve(
+                error_response(
+                    pending.request.id, "shutting-down",
+                    "the service is shutting down",
+                )
+            )
+        self._dispatcher.join(timeout=5.0)
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch: list[_Pending] | None = None
+            with self._cond:
+                while True:
+                    if self._closed:
+                        return
+                    if self._held or not self._groups:
+                        self._cond.wait()
+                        continue
+                    now = time.monotonic()
+                    window = self.window()
+                    cap = self.max_batch()
+                    due_at = None
+                    for key, group in self._groups.items():
+                        ready_at = group.first_at + window
+                        if len(group.pendings) >= cap or ready_at <= now:
+                            batch = group.pendings[:cap]
+                            if len(group.pendings) > cap:
+                                rest = self._groups[key] = _Group(key, now)
+                                rest.pendings = group.pendings[cap:]
+                            else:
+                                del self._groups[key]
+                            break
+                        if due_at is None or ready_at < due_at:
+                            due_at = ready_at
+                    if batch is not None:
+                        break
+                    self._cond.wait(timeout=max(due_at - now, 0.0))
+            self._pool.submit(self._run_batch, batch)
+            batch = None
+
+    # ------------------------------------------------------------------
+    # batch execution (worker threads)
+    # ------------------------------------------------------------------
+    def _run_batch(self, pendings: list[_Pending]) -> None:
+        from . import note_batch, note_error, note_timeout
+
+        first = pendings[0].request
+        graph_name, algorithm, _params_key = first.batch_key
+        size = len(pendings)
+        fused = size > 1 and first.source is not None
+        note_batch(graph_name, algorithm, size, fused)
+        if obs.ACTIVE:
+            obs.record_event(
+                "service.batch", "service",
+                graph=graph_name, algorithm=algorithm, size=size, fused=fused,
+            )
+        graph = self.registry.get(graph_name)
+        sources = [p.request.source for p in pendings]
+        budget = request_timeout()
+        scope = deadline(seconds=budget) if budget is not None else contextlib.nullcontext()
+        try:
+            with scope, nonblocking():
+                results = run_requests(
+                    graph, graph_name, algorithm, first.params, sources
+                )
+            for pending, result in zip(pendings, results):
+                pending.resolve(ok_response(pending.request.id, result))
+        except OperationTimeout as exc:
+            note_timeout(size)
+            if obs.ACTIVE:
+                obs.record_event(
+                    "service.timeout", "service",
+                    graph=graph_name, algorithm=algorithm, size=size,
+                )
+            self._fail(pendings, "timeout", f"request budget exhausted: {exc}")
+        except OperationCancelled as exc:
+            note_timeout(size)
+            self._fail(pendings, "cancelled", f"request cancelled: {exc}")
+        except ProtocolError as exc:
+            note_error(size)
+            self._fail(pendings, exc.code, str(exc))
+        except GraphBLASError as exc:
+            note_error(size)
+            if obs.ACTIVE:
+                obs.record_event(
+                    "service.error", "service",
+                    graph=graph_name, algorithm=algorithm, size=size,
+                )
+            self._fail(pendings, "internal", f"execution failed: {exc}")
+        except BaseException as exc:  # a worker must never strand its clients
+            note_error(size)
+            if obs.ACTIVE:
+                obs.record_event(
+                    "service.error", "service",
+                    graph=graph_name, algorithm=algorithm, size=size,
+                )
+            self._fail(pendings, "internal", f"unexpected failure: {exc!r}")
+
+    @staticmethod
+    def _fail(pendings: list[_Pending], code: str, message: str) -> None:
+        for pending in pendings:
+            pending.resolve(error_response(pending.request.id, code, message))

@@ -1,0 +1,147 @@
+"""Named preloaded graphs for the service, with a JSON manifest loader.
+
+The registry is the service's multi-tenant data plane: graphs are loaded
+(or generated) **once** at boot, prewarmed, and then shared read-only by
+every server thread.  Prewarming materialises the representations the
+algorithms build lazily on first touch — the cached transpose (every
+``graph.T @ frontier`` step) and the memoized degree statistics (the
+schedule cost model) — so the first request pays no hidden build and
+concurrent first requests cannot race one (the memo builds are also
+lock-protected; see ``backend/smatrix.py``).
+
+Manifest format (``--graphs manifest.json``)::
+
+    {"graphs": {
+        "web":   {"path": "data/web.mtx"},
+        "rmat9": {"generator": "rmat", "scale": 9, "edge_factor": 16,
+                  "seed": 42, "weighted": true},
+        "er":    {"generator": "erdos_renyi", "nodes": 512, "seed": 7,
+                  "weighted": true}
+    }}
+
+The top-level ``"graphs"`` wrapper is optional.  ``path`` entries load
+MatrixMarket files via the fast loader; ``generator`` entries call the
+synthetic generators in :mod:`repro.io.generators` with the remaining
+keys as keyword arguments.  All graphs load as ``float64`` so every
+algorithm (weighted SSSP included) can run against them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from ..core.matrix import Matrix
+from ..exceptions import InvalidValue
+
+__all__ = ["GraphRegistry", "load_manifest"]
+
+_GENERATORS = frozenset(
+    {"erdos_renyi", "ring_graph", "grid_graph", "rmat", "scale_free"}
+)
+
+
+class GraphRegistry:
+    """Thread-safe name → preloaded :class:`~repro.core.matrix.Matrix`."""
+
+    def __init__(self):
+        self._graphs: dict[str, Matrix] = {}
+        self._lock = threading.Lock()
+
+    def add(self, name: str, graph: Matrix, prewarm: bool = True) -> Matrix:
+        if not isinstance(name, str) or not name:
+            raise InvalidValue("graph names must be non-empty strings")
+        if prewarm:
+            self.prewarm(graph)
+        with self._lock:
+            self._graphs[name] = graph
+        return graph
+
+    @staticmethod
+    def prewarm(graph: Matrix) -> None:
+        """Build the lazily-memoized shared representations up front:
+        the transpose (both orientations' traversals) and the degree
+        statistics (schedule cost model)."""
+        store = graph._store
+        transposed = getattr(store, "transposed", None)
+        if callable(transposed):
+            transposed()
+        lengths = getattr(store, "row_lengths", None)
+        if callable(lengths):
+            lengths()
+        stats = getattr(store, "degree_stats", None)
+        if callable(stats):
+            stats()
+
+    def get(self, name: str) -> Matrix | None:
+        with self._lock:
+            return self._graphs.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._graphs)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._graphs)
+
+    def describe(self) -> dict[str, dict]:
+        """Per-graph summary for the ``graphs``/``health`` endpoints."""
+        with self._lock:
+            items = list(self._graphs.items())
+        return {
+            name: {
+                "nrows": g.nrows,
+                "ncols": g.ncols,
+                "nvals": g.nvals,
+                "dtype": str(g.dtype),
+            }
+            for name, g in items
+        }
+
+
+def _build_entry(name: str, spec: dict, base_dir: Path) -> Matrix:
+    if not isinstance(spec, dict):
+        raise InvalidValue(f"manifest entry {name!r} must be a JSON object")
+    if "path" in spec:
+        from ..io.fastload import mmread_fast
+
+        path = Path(spec["path"])
+        if not path.is_absolute():
+            path = base_dir / path
+        return mmread_fast(str(path), dtype=float)
+    generator = spec.get("generator")
+    if generator is None:
+        raise InvalidValue(
+            f"manifest entry {name!r} needs either 'path' or 'generator'"
+        )
+    if generator not in _GENERATORS:
+        raise InvalidValue(
+            f"manifest entry {name!r}: unknown generator {generator!r} "
+            f"(available: {', '.join(sorted(_GENERATORS))})"
+        )
+    from ..io import generators
+
+    kwargs = {k: v for k, v in spec.items() if k != "generator"}
+    kwargs.setdefault("dtype", float)
+    return getattr(generators, generator)(**kwargs)
+
+
+def load_manifest(path: str | Path, registry: GraphRegistry | None = None) -> GraphRegistry:
+    """Load every graph named in the manifest at *path* into *registry*
+    (a fresh one by default) and return it."""
+    manifest_path = Path(path)
+    try:
+        doc = json.loads(manifest_path.read_text())
+    except ValueError as exc:
+        raise InvalidValue(f"manifest {manifest_path} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise InvalidValue(f"manifest {manifest_path} must be a JSON object")
+    entries = doc.get("graphs", doc)
+    if not isinstance(entries, dict):
+        raise InvalidValue(f"manifest {manifest_path}: 'graphs' must be an object")
+    registry = registry if registry is not None else GraphRegistry()
+    for name, spec in entries.items():
+        registry.add(name, _build_entry(name, spec, manifest_path.parent))
+    return registry
